@@ -1,0 +1,21 @@
+"""Benchmark-suite configuration.
+
+Each benchmark regenerates one of the paper's tables/figures through the
+drivers in :mod:`repro.bench.figures`, timing the full driver and then
+asserting the paper's qualitative shape (who wins, by roughly what
+factor) on the regenerated rows.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def run_experiment(benchmark):
+    """Benchmark an experiment driver and hand back its result rows."""
+
+    def _run(driver, **kwargs):
+        return benchmark.pedantic(
+            lambda: driver(**kwargs), rounds=3, iterations=1, warmup_rounds=1
+        )
+
+    return _run

@@ -1,0 +1,109 @@
+"""Ablation benches for the design choices DESIGN.md calls out."""
+
+from repro.bench.ablations import (
+    ablation_cuda_graph,
+    ablation_expert_slicing,
+    ablation_fusion_strategy,
+    ablation_hybrid_factor,
+    ablation_pcc_degree,
+    ablation_pinned_weights,
+    ablation_prefetch_depth,
+    ablation_sla_frontier,
+)
+
+
+def test_ablation_cuda_graph(run_experiment):
+    res = run_experiment(ablation_cuda_graph)
+    by_model = {r["model"]: r for r in res.rows}
+    # Launch elimination always helps, and helps the smallest model most.
+    assert all(r["speedup"] >= 1.0 for r in res.rows)
+    assert by_model["gpt2-1.5b"]["speedup"] > by_model["gpt-13b"]["speedup"]
+
+
+def test_ablation_fusion_strategy(run_experiment):
+    res = run_experiment(ablation_fusion_strategy)
+    at_b1 = {r["fusion"]: r for r in res.rows if r["batch"] == 1}
+    # Kernel count strictly decreases with fusion aggressiveness.
+    assert (at_b1["none"]["kernels_per_layer"]
+            > at_b1["elementwise"]["kernels_per_layer"]
+            > at_b1["attention"]["kernels_per_layer"]
+            > at_b1["deep"]["kernels_per_layer"])
+    # So does modeled latency and HBM traffic.
+    assert at_b1["deep"]["layer_us"] < at_b1["none"]["layer_us"]
+    assert at_b1["deep"]["hbm_mb"] <= at_b1["none"]["hbm_mb"]
+
+
+def test_ablation_pcc_degree(run_experiment):
+    res = run_experiment(ablation_pcc_degree)
+    for gpus in (128, 256):
+        series = sorted(
+            (r["tp_degree"], r["reduction"]) for r in res.rows
+            if r["gpus"] == gpus
+        )
+        reductions = [v for _, v in series]
+        # Reduction tracks the slicing degree: ~L at tp_degree L.
+        assert reductions == sorted(reductions)
+        assert 7.0 < reductions[-1] < 9.5  # tp=8 => ~8x
+
+
+def test_ablation_expert_slicing(run_experiment):
+    res = run_experiment(ablation_expert_slicing)
+    by_es = {r["expert_slicing"]: r for r in res.rows}
+    # Slicing an expert 2 ways halves its weight-streaming time.
+    assert by_es[2]["expert_ms"] < 0.6 * by_es[1]["expert_ms"]
+    assert by_es[2]["total_ms"] < by_es[1]["total_ms"]
+
+
+def test_ablation_hybrid_factor(run_experiment):
+    res = run_experiment(ablation_hybrid_factor)
+    prompts = [r["prompt_ms"] for r in sorted(res.rows,
+                                              key=lambda r: r["prompt_factor"])]
+    # More prompt micro-batches keep shrinking the prompt phase here
+    # (prompt compute saturates, only the bubble shrinks).
+    assert prompts == sorted(prompts, reverse=True)
+    assert prompts[-1] < 0.8 * prompts[0]
+
+
+def test_ablation_prefetch_depth(run_experiment):
+    res = run_experiment(ablation_prefetch_depth)
+    rows = sorted(res.rows, key=lambda r: r["prefetch_depth"])
+    # Depth 1 captures nearly all of the overlap win...
+    assert rows[1]["pass_s"] < 0.7 * rows[0]["pass_s"]
+    # ...and deeper prefetch only spends buffer memory.
+    assert rows[3]["pass_s"] > 0.98 * rows[1]["pass_s"]
+    assert rows[3]["buffers_gb"] > 2 * rows[1]["buffers_gb"]
+
+
+def test_ablation_pinned_weights(run_experiment):
+    res = run_experiment(ablation_pinned_weights)
+    rows = sorted(res.rows, key=lambda r: r["pinned_frac"])
+    # More pinning always shrinks the feasible batch...
+    batches = [r["batch"] for r in rows]
+    assert batches == sorted(batches, reverse=True)
+    # ...and never improves throughput over the fully-streamed design
+    # (Sec. VI-A's argument for not pinning).
+    assert rows[0]["tflops"] == max(r["tflops"] for r in rows)
+
+
+def test_ablation_serving_load(run_experiment):
+    from repro.bench.ablations import ablation_serving_load
+
+    res = run_experiment(ablation_serving_load)
+    rows = sorted(res.rows, key=lambda r: r["req_per_s"])
+    # Rising load: throughput grows, and queueing raises latency.
+    tputs = [r["tokens_per_s"] for r in rows]
+    assert tputs == sorted(tputs)
+    assert rows[-1]["p50_s"] > rows[0]["p50_s"]
+    # P99 always dominates P50.
+    for r in rows:
+        assert r["p99_s"] >= r["p50_s"]
+
+
+def test_ablation_sla_frontier(run_experiment):
+    res = run_experiment(ablation_sla_frontier)
+    # Looser SLAs admit larger batches and monotonically more throughput.
+    numeric = [r for r in res.rows if r["sla_ms"] != "none"]
+    tputs = [r["tokens_per_s"] for r in numeric]
+    assert tputs == sorted(tputs)
+    for r in numeric:
+        assert r["token_ms"] <= r["sla_ms"]

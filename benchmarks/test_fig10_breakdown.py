@@ -1,0 +1,48 @@
+"""Fig. 10: performance-breakdown panels (kernels, pipeline, prefetch)."""
+
+from repro.bench.figures import (
+    fig10a_kernel_breakdown,
+    fig10b_pipeline_ablation,
+    fig10c_prefetch,
+)
+
+
+def test_fig10a_kernel_breakdown(run_experiment):
+    res = run_experiment(fig10a_kernel_breakdown)
+    series = {}
+    for r in res.rows:
+        series.setdefault(r["config"], {})[r["batch"]] = r["latency_ms"]
+    base = series["Megatron-FP16"]
+    fused = series["Megatron+DeepFusion"]
+    full = series["Megatron+DeepFusion+SBI-GeMM"]
+    for b in base:
+        assert fused[b] < base[b]  # deep-fusion always helps
+        assert full[b] <= fused[b] * 1.02  # SBI never hurts...
+    # ... and helps specifically at small batch.
+    assert full[1] < fused[1]
+    # Deep-fusion is the dominant effect (paper Fig. 10a).
+    assert base[1] / fused[1] > 2.0
+
+
+def test_fig10b_pipeline_ablation(run_experiment):
+    res = run_experiment(fig10b_pipeline_ablation)
+    tputs = [r["tokens_per_s"] for r in res.rows]
+    # Cumulative optimizations never regress.
+    for prev, cur in zip(tputs, tputs[1:]):
+        assert cur >= prev * 0.999
+    # Scheduling optimizations alone buy >1.4x (paper's bars grow
+    # monotonically to ~1.5x+ overall).
+    assert tputs[2] / tputs[0] > 1.4
+
+
+def test_fig10c_prefetch(run_experiment):
+    res = run_experiment(fig10c_prefetch)
+    rows = sorted(res.rows, key=lambda r: r["batch"])
+    gains = [r["improvement"] for r in rows]
+    # Prefetch helps at small batch...
+    assert max(gains[:3]) > 1.3
+    # ...and the benefit diminishes at larger batches (paper Fig. 10c).
+    assert gains[-1] < 1.15
+    assert gains[-1] < max(gains[:3])
+    # Never a slowdown.
+    assert all(g >= 1.0 for g in gains)

@@ -1,0 +1,21 @@
+"""Fig. 11: aggregate memory-bandwidth scalability of the 52B MoE model."""
+
+from repro.bench.figures import fig11_moe_bandwidth
+
+
+def test_fig11_moe_bandwidth(run_experiment):
+    res = run_experiment(fig11_moe_bandwidth)
+    rows = sorted(res.rows, key=lambda r: r["gpus"])
+    assert [r["gpus"] for r in rows] == [8, 16, 32, 64, 128]
+
+    for r in rows:
+        # DeepSpeed sustains much higher bandwidth than the baseline at
+        # every scale (combined MoE kernels + all-to-all optimizations).
+        assert r["ds_agg_tb_s"] > 2 * r["baseline_agg_tb_s"], r
+        # Per-GPU bandwidth never exceeds the A100's peak.
+        assert r["ds_per_gpu_gb_s"] < 1555
+
+    # Aggregate bandwidth keeps growing all the way to 128 GPUs.
+    ds_agg = [r["ds_agg_tb_s"] for r in rows]
+    assert ds_agg == sorted(ds_agg)
+    assert ds_agg[-1] > 1.5 * ds_agg[0]

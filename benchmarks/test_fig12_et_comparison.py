@@ -1,0 +1,16 @@
+"""Fig. 12: comparison with E.T. encoder kernels."""
+
+from repro.bench.figures import fig12_et_comparison
+
+
+def test_fig12_et_comparison(run_experiment):
+    res = run_experiment(fig12_et_comparison)
+    by_model = {r["model"]: r for r in res.rows}
+
+    # DeepSpeed faster on both models (paper: 1.7x and 1.4x).
+    assert 1.5 < by_model["distilbert"]["speedup"] < 2.3
+    assert 1.2 < by_model["bert-large"]["speedup"] < 1.8
+    # Bigger gain on the smaller, launch-overhead-dominated model.
+    assert by_model["distilbert"]["speedup"] > by_model["bert-large"]["speedup"]
+    # Absolute latencies stay sub-millisecond for DistilBERT at batch 1.
+    assert by_model["distilbert"]["deepspeed_ms"] < 1.0

@@ -1,0 +1,19 @@
+"""Fig. 13: hybrid-scheduling prompt-processing latency vs FT."""
+
+from repro.bench.figures import fig13_hybrid_prompt
+
+
+def test_fig13_hybrid_prompt(run_experiment):
+    res = run_experiment(fig13_hybrid_prompt)
+    by_config = {r["config"]: r for r in res.rows}
+    ppmp = by_config["PP+MP (tp8 x pp2)"]
+    mponly = by_config["MP-only (tp16)"]
+
+    # Paper: 1.18x (PP+MP) and 3.06x (MP-only) at batch 24.
+    assert 1.05 < ppmp["speedup"] < 1.6
+    assert 2.2 < mponly["speedup"] < 3.8
+    assert mponly["speedup"] > ppmp["speedup"]
+
+    # Prompt processing is compute-dense: DS sustains a large fraction of
+    # peak per GPU during the prompt phase.
+    assert ppmp["ds_tflops_per_gpu"] > 80

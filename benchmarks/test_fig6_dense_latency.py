@@ -1,0 +1,31 @@
+"""Fig. 6: dense latency/throughput vs FasterTransformer."""
+
+from repro.bench.figures import fig6_dense_latency
+
+
+def test_fig6_dense_latency(run_experiment):
+    res = run_experiment(fig6_dense_latency)
+    assert res.rows
+    # DeepSpeed wins everywhere; INT8 wins over FP16.
+    for r in res.rows:
+        assert r["fp16_speedup"] > 1.0, r
+        assert r["int8_speedup"] > r["fp16_speedup"], r
+
+    # Paper band: FP16 up to ~1.55x, INT8 up to ~1.95x (we allow 0.25 slack).
+    max_fp16 = max(r["fp16_speedup"] for r in res.rows)
+    max_int8 = max(r["int8_speedup"] for r in res.rows)
+    assert 1.3 < max_fp16 < 1.8
+    assert 1.7 < max_int8 < 2.4
+
+    # Largest FP16 gains on the smallest model at batch 1.
+    batch1 = {r["model"]: r["fp16_speedup"] for r in res.rows if r["batch"] == 1}
+    assert batch1["gpt2-1.5b"] == max(batch1.values())
+
+    # Throughput grows with batch for every model.
+    for model in {r["model"] for r in res.rows}:
+        series = sorted(
+            (r["batch"], r["ds_tokens_per_s"]) for r in res.rows
+            if r["model"] == model
+        )
+        tputs = [t for _, t in series]
+        assert tputs == sorted(tputs), model

@@ -1,0 +1,19 @@
+"""Fig. 8: massive-model generation throughput vs FasterTransformer."""
+
+from repro.bench.figures import fig8_throughput
+
+
+def test_fig8_throughput(run_experiment):
+    res = run_experiment(fig8_throughput)
+    by_name = {r["model"]: r for r in res.rows}
+
+    # Paper: 1.51x on 175B (16 GPUs) and 1.53x on 530B (40 GPUs, vs FT
+    # TP-only). Accept the 1.2-2.2x band for the shape.
+    assert 1.2 < by_name["lm-175b"]["speedup"] < 2.2
+    assert 1.2 < by_name["lm-530b"]["speedup"] < 2.2
+
+    # DeepSpeed's schedule + memory work lets it run at least as large a
+    # batch as FT on the 530B deployment.
+    assert by_name["lm-530b"]["ds_batch"] >= by_name["lm-530b"]["ft_batch"]
+    assert by_name["lm-175b"]["gpus"] == 16
+    assert by_name["lm-530b"]["gpus"] == 40

@@ -1,0 +1,18 @@
+"""Table I: dense model configuration regeneration."""
+
+from repro.bench.figures import table1
+
+
+def test_table1_dense_zoo(run_experiment):
+    res = run_experiment(table1)
+    assert res.exp_id == "table1"
+    assert len(res.rows) == 9
+    by_name = {r["model"]: r for r in res.rows}
+    # Spot-check the table's extremes.
+    assert by_name["gpt2-1.5b"]["hidden"] == 1600
+    assert by_name["lm-530b"]["layers"] == 105
+    # Every architectural estimate within 15% of the listed size.
+    for r in res.rows:
+        assert abs(r["params(B)"] - r["listed(B)"]) / r["listed(B)"] < 0.15
+    # Sec. I: 530B needs ~1 TB of fp16 weights.
+    assert 950 < by_name["lm-530b"]["fp16_gb"] < 1150

@@ -1,0 +1,18 @@
+"""Table II: sparse model configuration regeneration."""
+
+from repro.bench.figures import table2
+
+
+def test_table2_moe_zoo(run_experiment):
+    res = run_experiment(table2)
+    assert len(res.rows) == 5
+    by_name = {r["model"]: r for r in res.rows}
+    # Table II columns.
+    assert by_name["24b-moe-128"]["MP"] == 8
+    assert by_name["24b-moe-128"]["EP"] == 128
+    assert by_name["24b-moe-128"]["expert_slicing"] == 2
+    assert by_name["24b-moe-128"]["gpus"] == 256
+    assert by_name["1.3b-moe-128"]["gpus"] == 128
+    # Two of the models exceed a trillion parameters.
+    trillion = [r for r in res.rows if r["listed(B)"] > 1000]
+    assert len(trillion) == 2

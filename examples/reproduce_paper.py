@@ -1,0 +1,61 @@
+"""Reproduce the paper's full evaluation and archive the results.
+
+Runs every table/figure driver plus the mechanism ablations, prints the
+regenerated tables, checks the headline claims inline, and writes
+JSON/CSV artifacts next to this script (under ``results/``).
+
+Run:  python examples/reproduce_paper.py
+"""
+
+import json
+from pathlib import Path
+
+from repro.bench import ALL_ABLATIONS, ALL_EXPERIMENTS
+
+
+HEADLINES = {
+    "fig6": ("dense latency vs FT",
+             lambda r: max(row["fp16_speedup"] for row in r.rows) > 1.3),
+    "fig7": ("1T MoE under 25 ms/token",
+             lambda r: min(row["deepspeed_ms"] for row in r.rows
+                           if row["params(B)"] > 1000) < 25),
+    "fig8": ("~1.5x massive-model throughput",
+             lambda r: all(1.2 < row["speedup"] for row in r.rows)),
+    "fig9": ("~half of A6000 peak for streamed models",
+             lambda r: any(45 < row.get("pct_peak", 0) < 60 for row in r.rows)),
+    "fig12": ("faster than E.T. on both encoders",
+              lambda r: all(row["speedup"] > 1.2 for row in r.rows)),
+    "fig13": ("3x MP-only prompt speedup",
+              lambda r: max(row["speedup"] for row in r.rows) > 2.5),
+}
+
+
+def main() -> None:
+    out_dir = Path(__file__).parent / "results"
+    out_dir.mkdir(exist_ok=True)
+    archive = []
+    checks = []
+
+    for registry in (ALL_EXPERIMENTS, ALL_ABLATIONS):
+        for exp_id, driver in registry.items():
+            result = driver()
+            print(result.render())
+            print()
+            archive.append(result.to_json_dict())
+            (out_dir / f"{exp_id}.csv").write_text(result.to_csv())
+            if exp_id in HEADLINES:
+                label, check = HEADLINES[exp_id]
+                ok = check(result)
+                checks.append((exp_id, label, ok))
+
+    (out_dir / "all_results.json").write_text(json.dumps(archive, indent=2))
+
+    print("=== headline checks ===")
+    for exp_id, label, ok in checks:
+        print(f"  [{'ok' if ok else 'MISS'}] {exp_id}: {label}")
+    print(f"\nartifacts: {out_dir}/all_results.json and per-experiment CSVs")
+    assert all(ok for _, _, ok in checks), "a headline claim failed to reproduce"
+
+
+if __name__ == "__main__":
+    main()

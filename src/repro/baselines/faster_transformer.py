@@ -1,0 +1,65 @@
+"""FasterTransformer baseline (Sec. VII-A1, NVIDIA's FT library).
+
+FT is the dense-model comparator throughout Figs. 6, 8 and 13. Its
+mechanisms, relative to DeepSpeed Transformer:
+
+* elementwise-only (epilogue) kernel fusion, cuBLAS GeMMs at every batch
+  size, no CUDA graphs — the ``FASTER_TRANSFORMER_FP16`` profile;
+* FP16 only for GPT-style decoders (its INT8 path covers encoders only,
+  per the paper's footnote 1);
+* training-style token-lockstep pipeline schedule, no hybrid prompt
+  scheduling, no activation offloading (smaller feasible batches).
+"""
+
+from __future__ import annotations
+
+from ..hardware.topology import ClusterSpec
+from ..kernels.profiles import FASTER_TRANSFORMER_FP16
+from ..model.config import ModelConfig
+from ..engine.latency import DenseLatencyModel, LatencyReport, Workload
+from ..engine.throughput import ThroughputPoint, best_throughput
+
+__all__ = ["FasterTransformerBaseline"]
+
+
+class FasterTransformerBaseline:
+    """Latency/throughput of FasterTransformer on a dense deployment."""
+
+    def __init__(
+        self,
+        config: ModelConfig,
+        cluster: ClusterSpec,
+        *,
+        tp: int = 1,
+        pp: int = 1,
+    ) -> None:
+        self.model = DenseLatencyModel(
+            config,
+            cluster,
+            tp=tp,
+            pp=pp,
+            profile=FASTER_TRANSFORMER_FP16,
+            lockstep_generation=True,  # batch-granularity generation (Fig. 2a)
+            hybrid_prompt_factor=1,
+        )
+
+    @property
+    def config(self) -> ModelConfig:
+        """Model under test."""
+        return self.model.config
+
+    def estimate(self, *, batch: int, prompt_len: int, gen_tokens: int) -> LatencyReport:
+        """Latency report for one workload."""
+        return self.model.estimate(
+            Workload(batch=batch, prompt_len=prompt_len, gen_tokens=gen_tokens)
+        )
+
+    def best_throughput(self, *, prompt_len: int, gen_tokens: int) -> ThroughputPoint:
+        """Best-batch sweep; FT cannot offload activations, so its batch
+        ceiling is the unoffloaded one."""
+        return best_throughput(
+            self.model,
+            prompt_len=prompt_len,
+            gen_tokens=gen_tokens,
+            offload_activations=False,
+        )

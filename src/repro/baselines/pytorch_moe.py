@@ -1,0 +1,41 @@
+"""PyTorch-MoE baseline (Sec. VII-A1): "a full-featured distributed
+PyTorch implementation that supports both tensor and expert parallelism".
+
+Mechanism differences from DeepSpeed-MoE (Sec. VII-B2 lists exactly
+these): sparse one-hot einsum gating, a framework loop-of-sends
+all-to-all over all expert-parallel ranks, no expert-slicing, eager
+kernels. The functional counterpart of its gating path is
+:meth:`repro.model.moe.MoELayer.forward_sparse_einsum`.
+"""
+
+from __future__ import annotations
+
+from ..hardware.topology import ClusterSpec
+from ..engine.moe import MoELatencyModel, MoEStepBreakdown
+from ..model.config import ModelConfig, MoEParallelism
+
+__all__ = ["PyTorchMoEBaseline"]
+
+
+class PyTorchMoEBaseline:
+    """Latency of the distributed PyTorch MoE implementation."""
+
+    def __init__(
+        self,
+        config: ModelConfig,
+        cluster: ClusterSpec,
+        parallelism: MoEParallelism,
+    ) -> None:
+        self.model = MoELatencyModel(config, cluster, parallelism, optimized=False)
+
+    def token_latency(self, batch: int = 8, kv_len: int = 228) -> float:
+        """Per generated-token latency."""
+        return self.model.token_latency(batch, kv_len)
+
+    def step_breakdown(self, batch: int = 8, kv_len: int = 228) -> MoEStepBreakdown:
+        """Component decomposition of one token step."""
+        return self.model.token_step(batch, kv_len)
+
+    def effective_bandwidth_per_gpu(self, batch: int = 8) -> float:
+        """Fig. 11's metric for the baseline."""
+        return self.model.effective_bandwidth_per_gpu(batch)

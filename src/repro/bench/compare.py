@@ -1,0 +1,115 @@
+"""Compare two archived result sets: the calibration-regression tool.
+
+``python -m repro.bench --json before.json`` archives a run; after a
+model change, archive again and diff. A change that silently moves a
+figure's numbers — exactly what the calibration tests guard against in
+aggregate — shows up here row by row, with the relative deltas that
+matter highlighted.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+__all__ = ["Delta", "compare_results", "load_archive", "format_deltas"]
+
+
+@dataclass(frozen=True)
+class Delta:
+    """One numeric cell that moved between archives."""
+
+    exp_id: str
+    row_key: str
+    column: str
+    before: float
+    after: float
+
+    @property
+    def rel_change(self) -> float:
+        """Relative change (after/before - 1); inf when before == 0."""
+        if self.before == 0:
+            return float("inf") if self.after else 0.0
+        return self.after / self.before - 1.0
+
+
+def load_archive(path: Path | str) -> dict[str, dict]:
+    """Load a ``--json`` archive, keyed by experiment id."""
+    data = json.loads(Path(path).read_text())
+    if not isinstance(data, list):
+        raise ValueError("archive must be the JSON list --json writes")
+    return {entry["exp_id"]: entry for entry in data}
+
+
+def _row_key(exp: dict, row: dict) -> str:
+    """A stable identity for a row: its non-numeric column values."""
+    parts = [
+        f"{c}={row[c]}"
+        for c in exp["columns"]
+        if c in row and not isinstance(row[c], (int, float))
+    ]
+    if not parts:  # purely numeric rows: fall back to the first column
+        first = exp["columns"][0]
+        parts = [f"{first}={row.get(first)}"]
+    return ",".join(parts)
+
+
+def compare_results(
+    before: dict[str, dict],
+    after: dict[str, dict],
+    *,
+    threshold: float = 0.02,
+) -> list[Delta]:
+    """Numeric cells whose relative change exceeds ``threshold``.
+
+    Rows are matched by their non-numeric identity columns; experiments
+    or rows present on only one side are reported as full-magnitude
+    deltas against 0.
+    """
+    if threshold < 0:
+        raise ValueError("threshold must be >= 0")
+    deltas: list[Delta] = []
+    for exp_id in sorted(set(before) | set(after)):
+        b_exp, a_exp = before.get(exp_id), after.get(exp_id)
+        b_rows = (
+            {_row_key(b_exp, r): r for r in b_exp["rows"]} if b_exp else {}
+        )
+        a_rows = (
+            {_row_key(a_exp, r): r for r in a_exp["rows"]} if a_exp else {}
+        )
+        for key in sorted(set(b_rows) | set(a_rows)):
+            b_row = b_rows.get(key, {})
+            a_row = a_rows.get(key, {})
+            for col in sorted(set(b_row) | set(a_row)):
+                b_val, a_val = b_row.get(col), a_row.get(col)
+                if not (
+                    isinstance(b_val, (int, float))
+                    or isinstance(a_val, (int, float))
+                ):
+                    continue
+                if isinstance(b_val, bool) or isinstance(a_val, bool):
+                    continue
+                b_num = float(b_val) if isinstance(b_val, (int, float)) else 0.0
+                a_num = float(a_val) if isinstance(a_val, (int, float)) else 0.0
+                d = Delta(exp_id, key, col, b_num, a_num)
+                if abs(d.rel_change) > threshold or (
+                    (b_val is None) != (a_val is None)
+                ):
+                    deltas.append(d)
+    return deltas
+
+
+def format_deltas(deltas: list[Delta], *, limit: int = 50) -> str:
+    """Readable report of the largest movements."""
+    if not deltas:
+        return "no significant changes"
+    ranked = sorted(deltas, key=lambda d: -abs(d.rel_change))[:limit]
+    lines = [f"{len(deltas)} changed cell(s); top {len(ranked)}:"]
+    for d in ranked:
+        pct = d.rel_change * 100
+        lines.append(
+            f"  {d.exp_id:10s} {d.row_key:40.40s} {d.column:20.20s} "
+            f"{d.before:12.4g} -> {d.after:12.4g} ({pct:+7.1f}%)"
+        )
+    return "\n".join(lines)

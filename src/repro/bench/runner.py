@@ -1,0 +1,76 @@
+"""Run all (or selected) experiment drivers and print their reports."""
+
+from __future__ import annotations
+
+import sys
+
+from .ablations import ALL_ABLATIONS
+from .figures import ALL_EXPERIMENTS
+from .tables import ExperimentResult
+
+__all__ = ["run", "main"]
+
+
+REGISTRY = {**ALL_EXPERIMENTS, **ALL_ABLATIONS}
+
+
+def run(exp_ids: list[str] | None = None) -> list[ExperimentResult]:
+    """Execute the named experiments/ablations (default: the paper's
+    tables and figures; ablations run when named or via "ablations")."""
+    if exp_ids and exp_ids == ["ablations"]:
+        ids = list(ALL_ABLATIONS)
+    else:
+        ids = exp_ids or list(ALL_EXPERIMENTS)
+    unknown = [i for i in ids if i not in REGISTRY]
+    if unknown:
+        raise KeyError(
+            f"unknown experiment(s) {unknown}; known: {list(REGISTRY)}"
+        )
+    return [REGISTRY[i]() for i in ids]
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI: ``python -m repro.bench [--json FILE] [--csv DIR] [exp_id ...]``.
+
+    With no ids, runs every paper table/figure; ``ablations`` runs the
+    ablation set. ``--json`` archives all results to one JSON file;
+    ``--csv`` writes one CSV per experiment into a directory.
+    """
+    argv = sys.argv[1:] if argv is None else list(argv)
+    json_path = csv_dir = None
+    ids: list[str] = []
+    it = iter(argv)
+    for arg in it:
+        if arg == "--json":
+            json_path = next(it, None)
+            if json_path is None:
+                print("--json requires a file path", file=sys.stderr)
+                return 2
+        elif arg == "--csv":
+            csv_dir = next(it, None)
+            if csv_dir is None:
+                print("--csv requires a directory", file=sys.stderr)
+                return 2
+        else:
+            ids.append(arg)
+    try:
+        results = run(ids or None)
+    except KeyError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    for res in results:
+        print(res.render())
+        print()
+    if json_path:
+        import json
+
+        with open(json_path, "w") as f:
+            json.dump([r.to_json_dict() for r in results], f, indent=2)
+    if csv_dir:
+        import os
+
+        os.makedirs(csv_dir, exist_ok=True)
+        for res in results:
+            with open(os.path.join(csv_dir, f"{res.exp_id}.csv"), "w") as f:
+                f.write(res.to_csv())
+    return 0

@@ -1,0 +1,38 @@
+"""Communication substrate: collective cost models and a functional,
+in-process MPI-like communicator for SPMD NumPy execution."""
+
+from .functional import Communicator, World, spmd
+from .hierarchical import CommGroup, group_allreduce_time, hierarchical_allreduce_time
+from .pcc import PCCCost, baseline_alltoall, pcc_alltoall
+from .primitives import (
+    CollectiveCost,
+    allgather_time,
+    allreduce_time,
+    alltoall_time,
+    bruck_alltoall_time,
+    broadcast_time,
+    naive_alltoall_time,
+    p2p_time,
+    reduce_scatter_time,
+)
+
+__all__ = [
+    "CollectiveCost",
+    "CommGroup",
+    "Communicator",
+    "PCCCost",
+    "World",
+    "allgather_time",
+    "allreduce_time",
+    "alltoall_time",
+    "bruck_alltoall_time",
+    "baseline_alltoall",
+    "broadcast_time",
+    "group_allreduce_time",
+    "hierarchical_allreduce_time",
+    "naive_alltoall_time",
+    "p2p_time",
+    "pcc_alltoall",
+    "reduce_scatter_time",
+    "spmd",
+]

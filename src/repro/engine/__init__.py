@@ -1,0 +1,55 @@
+"""Inference engines: dense and MoE latency/throughput models, activation
+offloading, and the user-facing facades."""
+
+from .generation import GenerationRequest, GenerationSession
+from .inference import InferenceEngine, MoEInferenceEngine
+from .latency import DenseLatencyModel, LatencyReport, Workload
+from .moe import MoELatencyModel, MoEStepBreakdown
+from .serving_sim import (
+    Request,
+    ServingReport,
+    WorkloadTrace,
+    serving_step_times,
+    simulate_serving,
+    synthesize_trace,
+)
+from .offload import (
+    OffloadReport,
+    kv_offload_overflow,
+    kv_offload_stall_per_step,
+    max_batch_size,
+    simulate_offload,
+)
+from .throughput import ThroughputPoint, best_throughput, candidate_batches
+from .trace_run import DeploymentTrace, trace_generation
+from .tuner import TuningResult, tune_dense_deployment
+
+__all__ = [
+    "DenseLatencyModel",
+    "GenerationRequest",
+    "GenerationSession",
+    "InferenceEngine",
+    "LatencyReport",
+    "MoEInferenceEngine",
+    "MoELatencyModel",
+    "MoEStepBreakdown",
+    "OffloadReport",
+    "Request",
+    "ServingReport",
+    "WorkloadTrace",
+    "serving_step_times",
+    "simulate_serving",
+    "synthesize_trace",
+    "ThroughputPoint",
+    "Workload",
+    "DeploymentTrace",
+    "best_throughput",
+    "kv_offload_overflow",
+    "kv_offload_stall_per_step",
+    "candidate_batches",
+    "max_batch_size",
+    "simulate_offload",
+    "TuningResult",
+    "trace_generation",
+    "tune_dense_deployment",
+]

@@ -1,0 +1,194 @@
+"""Functional generation serving: continuous batching with per-sequence
+termination.
+
+Sec. IV-C1's dynamic-queue schedule exists because autoregressive
+sequences *terminate independently*: a fixed-batch engine would idle on
+finished sequences or stall new ones. This module is the functional
+counterpart: a :class:`GenerationSession` accepts requests at any time,
+advances every live sequence one token per :meth:`step`, retires
+sequences on EOS or length limits, and admits queued requests into freed
+slots — the semantics the pipeline scheduler's micro-batch queue
+implements in time.
+
+Correctness contract (tested): every request's output equals running
+``model.generate`` on that prompt alone, regardless of what else shares
+the engine.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..model.dense import DenseTransformer
+from ..model.kvcache import HostOffloadKVCache, KVCache
+from ..model.sampling import SamplingConfig, sample_next_token
+
+__all__ = ["GenerationRequest", "GenerationSession"]
+
+
+@dataclass
+class GenerationRequest:
+    """One sequence moving through the session."""
+
+    request_id: int
+    prompt: np.ndarray  # (seq,) int
+    max_new_tokens: int
+    generated: list[int] = field(default_factory=list)
+    cache: KVCache | None = None
+    done: bool = False
+    finish_reason: str | None = None
+
+    @property
+    def output_ids(self) -> np.ndarray:
+        """Prompt + generated tokens."""
+        return np.concatenate([self.prompt, np.array(self.generated, dtype=int)])
+
+
+class GenerationSession:
+    """Continuous-batching decoding over one functional model (greedy by
+    default; pass a :class:`SamplingConfig` for stochastic decoding)."""
+
+    def __init__(
+        self,
+        model: DenseTransformer,
+        *,
+        eos_token: int | None = None,
+        max_concurrency: int = 8,
+        sampling: SamplingConfig | None = None,
+        seed: int = 0,
+        offload_idle_kv: bool = False,
+    ) -> None:
+        """``offload_idle_kv`` parks every request's KV cache in host
+        memory between its steps (Sec. IV-C2's policy, functionally);
+        :attr:`kv_bytes_offloaded`/:attr:`kv_bytes_fetched` expose the
+        induced PCIe traffic the performance model prices."""
+        if max_concurrency < 1:
+            raise ValueError("max_concurrency must be >= 1")
+        self.model = model
+        self.eos_token = eos_token
+        self.max_concurrency = max_concurrency
+        self.sampling = sampling or SamplingConfig(greedy=True)
+        self.offload_idle_kv = offload_idle_kv
+        self._rng = np.random.default_rng(seed)
+        self._ids = itertools.count()
+        self._waiting: list[GenerationRequest] = []
+        self._active: list[GenerationRequest] = []
+        self._finished: dict[int, GenerationRequest] = {}
+        self.steps_run = 0
+        self.tokens_generated = 0
+
+    # -- request lifecycle ---------------------------------------------------
+
+    def submit(self, prompt_ids, *, max_new_tokens: int) -> int:
+        """Queue a request; returns its id."""
+        prompt = np.asarray(prompt_ids, dtype=int).ravel()
+        if prompt.size == 0:
+            raise ValueError("prompt must contain at least one token")
+        if max_new_tokens < 1:
+            raise ValueError("max_new_tokens must be >= 1")
+        req = GenerationRequest(
+            request_id=next(self._ids),
+            prompt=prompt,
+            max_new_tokens=max_new_tokens,
+        )
+        self._waiting.append(req)
+        return req.request_id
+
+    @property
+    def num_active(self) -> int:
+        """Sequences currently decoding."""
+        return len(self._active)
+
+    @property
+    def num_waiting(self) -> int:
+        """Requests queued for a slot."""
+        return len(self._waiting)
+
+    def result(self, request_id: int) -> GenerationRequest:
+        """Fetch a finished request."""
+        if request_id not in self._finished:
+            raise KeyError(f"request {request_id} is not finished")
+        return self._finished[request_id]
+
+    # -- the engine loop -------------------------------------------------
+
+    def _admit(self) -> None:
+        """Move waiting requests into free slots and run their prompts."""
+        while self._waiting and len(self._active) < self.max_concurrency:
+            req = self._waiting.pop(0)
+            cache_cls = HostOffloadKVCache if self.offload_idle_kv else KVCache
+            req.cache = cache_cls(self.model.config.layers)
+            logits = self.model.forward(req.prompt[None, :], req.cache)
+            self._emit(req, self._pick(logits))
+            if not req.done:
+                self._active.append(req)
+                self._park(req)
+
+    def _park(self, req: GenerationRequest) -> None:
+        """Offload the request's (now idle) cache until its next step."""
+        if self.offload_idle_kv and isinstance(req.cache, HostOffloadKVCache):
+            for layer in range(self.model.config.layers):
+                req.cache.offload(layer)
+
+    @property
+    def kv_bytes_offloaded(self) -> int:
+        """Cumulative KV bytes moved to the host (live requests only)."""
+        return sum(r.cache.bytes_offloaded for r in self._active
+                   if isinstance(r.cache, HostOffloadKVCache))
+
+    @property
+    def kv_bytes_fetched(self) -> int:
+        """Cumulative KV bytes paged back from the host."""
+        return sum(r.cache.bytes_fetched for r in self._active
+                   if isinstance(r.cache, HostOffloadKVCache))
+
+    def _pick(self, logits: np.ndarray) -> int:
+        """Next-token choice under the session's sampling policy."""
+        return int(sample_next_token(logits[:, -1], self.sampling, self._rng)[0])
+
+    def _emit(self, req: GenerationRequest, token: int) -> None:
+        req.generated.append(token)
+        self.tokens_generated += 1
+        if self.eos_token is not None and token == self.eos_token:
+            req.done = True
+            req.finish_reason = "eos"
+        elif len(req.generated) >= req.max_new_tokens:
+            req.done = True
+            req.finish_reason = "length"
+        if req.done:
+            req.cache = None  # free the KV memory (Sec. IV-B pressure)
+            self._finished[req.request_id] = req
+
+    def step(self) -> list[int]:
+        """Advance every live sequence one token; admit queued requests.
+
+        Returns the ids of requests that finished during this step.
+        """
+        before = set(self._finished)
+        self._admit()
+        still_active: list[GenerationRequest] = []
+        for req in self._active:
+            last = np.array([[req.generated[-1]]])
+            logits = self.model.forward(last, req.cache)
+            self._emit(req, self._pick(logits))
+            if not req.done:
+                still_active.append(req)
+                self._park(req)
+        self._active = still_active
+        self.steps_run += 1
+        self._admit()  # backfill slots freed this step
+        return sorted(set(self._finished) - before)
+
+    def run(self, max_steps: int = 10_000) -> dict[int, GenerationRequest]:
+        """Step until every submitted request finishes."""
+        steps = 0
+        while self._waiting or self._active:
+            self.step()
+            steps += 1
+            if steps > max_steps:
+                raise RuntimeError("generation did not terminate; check EOS "
+                                   "and max_new_tokens settings")
+        return dict(self._finished)

@@ -1,0 +1,189 @@
+"""Activation (KV-cache) offloading to host memory (Sec. IV-C2/3).
+
+Two concerns are modeled:
+
+* **capacity**: :func:`max_batch_size` computes the largest batch a
+  deployment sustains, with and without offloading cached activations to
+  DRAM — the "memory optimization" bar of Fig. 10b, since larger batches
+  buy throughput;
+* **PCIe contention**: on DGX systems two GPUs share one PCIe link.
+  :func:`simulate_offload` runs both GPUs' per-layer offload streams
+  through the shared link in the discrete-event simulator, under either
+  the naive schedule (both offload every layer, colliding) or the
+  paper's odd/even schedule (each GPU offloads alternating layers,
+  staggered so the link never sees two requests at once) — Sec. IV-C3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..hardware.specs import DType
+from ..hardware.topology import ClusterSpec
+from ..model.config import ModelConfig
+from ..simcore import BandwidthLink, Simulator, Timeout, transfer
+
+__all__ = [
+    "OffloadReport",
+    "kv_offload_overflow",
+    "kv_offload_stall_per_step",
+    "max_batch_size",
+    "simulate_offload",
+]
+
+
+def max_batch_size(
+    config: ModelConfig,
+    cluster: ClusterSpec,
+    *,
+    tp: int,
+    pp: int,
+    seq_len: int,
+    offload_activations: bool = False,
+    dtype: DType = DType.FP16,
+    headroom: float = 0.90,
+) -> int:
+    """Largest batch whose weights + resident KV fit per GPU.
+
+    With offloading, cached activations of layers not currently executing
+    live in DRAM; only a small working set (two layers' worth) must stay
+    resident, so the GPU budget stops limiting the batch — DRAM capacity
+    takes over as the binding constraint.
+    """
+    if min(tp, pp, seq_len) < 1:
+        raise ValueError("tp, pp and seq_len must be >= 1")
+    budget = cluster.gpu.memory_bytes * headroom
+    weights = config.total_params * dtype.itemsize / (tp * pp)
+    if weights >= budget:
+        return 0
+    kv_per_seq_gpu = seq_len * config.kv_bytes_per_token(dtype) / (tp * pp)
+    if not offload_activations:
+        return int((budget - weights) / kv_per_seq_gpu)
+    # Offloaded: GPU holds ~2 layers of cache; DRAM holds the rest.
+    layers_per_stage = max(1, config.layers // pp)
+    resident = kv_per_seq_gpu * min(2, layers_per_stage) / layers_per_stage
+    gpu_bound = int((budget - weights) / max(resident, 1e-9))
+    dram_budget = cluster.node.host.dram_bytes * headroom
+    kv_per_seq_node = (
+        seq_len * config.kv_bytes_per_token(dtype) / pp
+    )  # a node holds one stage's TP group
+    dram_bound = int(dram_budget / kv_per_seq_node)
+    return max(0, min(gpu_bound, dram_bound))
+
+
+def kv_offload_overflow(
+    config: ModelConfig,
+    cluster: ClusterSpec,
+    *,
+    tp: int,
+    pp: int,
+    batch: int,
+    seq_len: int,
+    dtype: DType = DType.FP16,
+    headroom: float = 0.90,
+) -> float:
+    """Per-GPU KV bytes that exceed GPU capacity and live in DRAM."""
+    weights = config.total_params * dtype.itemsize / (tp * pp)
+    capacity = cluster.gpu.memory_bytes * headroom - weights
+    kv = batch * seq_len * config.kv_bytes_per_token(dtype) / (tp * pp)
+    return max(0.0, kv - capacity)
+
+
+def kv_offload_stall_per_step(
+    config: ModelConfig,
+    cluster: ClusterSpec,
+    *,
+    tp: int,
+    pp: int,
+    batch: int,
+    seq_len: int,
+    step_time: float,
+    scheme: str = "odd_even",
+) -> float:
+    """Extra seconds one token step pays to round-trip offloaded KV.
+
+    Each generation step must read the offloaded portion of the cache
+    back for attention and write updates out — ``2 x overflow`` bytes per
+    GPU per step, spread across the stage's layers and contending on the
+    shared PCIe link. The odd/even schedule (Sec. IV-C3) halves the
+    pressure; this is the Fig. 10b "communication optimization" bar.
+    """
+    overflow = kv_offload_overflow(
+        config, cluster, tp=tp, pp=pp, batch=batch, seq_len=seq_len
+    )
+    if overflow <= 0 or step_time <= 0:
+        return 0.0
+    layers_per_stage = max(1, config.layers // pp)
+    rep = simulate_offload(
+        cluster,
+        num_layers=layers_per_stage,
+        bytes_per_layer=2.0 * overflow / layers_per_stage,
+        layer_compute_time=step_time / layers_per_stage,
+        scheme=scheme,
+    )
+    return rep.stall_time
+
+
+@dataclass(frozen=True)
+class OffloadReport:
+    """Result of simulating one token step's offload traffic."""
+
+    scheme: str
+    makespan: float
+    link_busy: float
+    compute_time: float
+
+    @property
+    def stall_time(self) -> float:
+        """Time the step ran longer than pure compute — PCIe stalls."""
+        return max(0.0, self.makespan - self.compute_time)
+
+
+def simulate_offload(
+    cluster: ClusterSpec,
+    *,
+    num_layers: int,
+    bytes_per_layer: float,
+    layer_compute_time: float,
+    scheme: str = "odd_even",
+) -> OffloadReport:
+    """Two GPUs sharing one PCIe link offload per-layer KV chunks while
+    computing; return the step makespan under ``scheme``.
+
+    ``naive``: both GPUs offload *every* layer's chunk — each transfer
+    contends with its twin. ``odd_even``: GPU0 offloads even layers, GPU1
+    odd layers (each GPU's other half remains resident until the next
+    step, when roles swap), so transfers interleave without contention
+    and each GPU sees the full link bandwidth when it needs it.
+    """
+    if scheme not in ("naive", "odd_even"):
+        raise ValueError(f"unknown scheme {scheme!r}")
+    if num_layers < 1 or bytes_per_layer < 0 or layer_compute_time <= 0:
+        raise ValueError("invalid workload parameters")
+
+    pcie = cluster.node.pcie
+    sim = Simulator()
+    link = BandwidthLink(pcie.bandwidth, pcie.latency, name="shared-pcie")
+
+    def offload_proc(nbytes: float):
+        yield from transfer(link, nbytes)
+
+    def gpu_proc(gpu: int):
+        # Offloads are issued asynchronously (Sec. IV-C3 overlaps them with
+        # compute); the step only stalls if the link cannot drain in time.
+        for layer in range(num_layers):
+            yield Timeout(layer_compute_time)  # compute layer
+            mine = scheme == "naive" or layer % 2 == gpu
+            if mine:
+                sim.spawn(offload_proc(bytes_per_layer),
+                          name=f"offload-g{gpu}-l{layer}")
+
+    sim.spawn(gpu_proc(0), name="gpu0")
+    sim.spawn(gpu_proc(1), name="gpu1")
+    makespan = sim.run()
+    return OffloadReport(
+        scheme=scheme,
+        makespan=makespan,
+        link_busy=link.busy_time,
+        compute_time=num_layers * layer_compute_time,
+    )

@@ -1,0 +1,217 @@
+"""Serving-level simulation: request arrivals, queueing, percentiles.
+
+The paper's latency/throughput numbers are per-batch; production systems
+(Sec. I's "online scenarios") face *arrival processes*: requests queue,
+join the running batch, and leave on completion. This module synthesizes
+request traces and replays them through a continuous-batching server
+whose per-iteration costs come from any step-time model (the dense
+latency engine supplies them), reporting time-to-first-token and
+end-to-end latency percentiles plus sustained throughput — the numbers
+an operator actually quotes against an SLA.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+__all__ = [
+    "Request",
+    "WorkloadTrace",
+    "synthesize_trace",
+    "ServingReport",
+    "simulate_serving",
+    "serving_step_times",
+]
+
+
+@dataclass(frozen=True)
+class Request:
+    """One request of a trace."""
+
+    request_id: int
+    arrival: float
+    prompt_len: int
+    gen_tokens: int
+
+    def __post_init__(self) -> None:
+        if self.arrival < 0 or self.prompt_len < 1 or self.gen_tokens < 1:
+            raise ValueError("invalid request parameters")
+
+
+@dataclass(frozen=True)
+class WorkloadTrace:
+    """A reproducible request trace."""
+
+    requests: tuple[Request, ...]
+
+    def __post_init__(self) -> None:
+        if not self.requests:
+            raise ValueError("a trace needs at least one request")
+        arrivals = [r.arrival for r in self.requests]
+        if arrivals != sorted(arrivals):
+            raise ValueError("requests must be sorted by arrival time")
+
+    @property
+    def duration(self) -> float:
+        """Span of the arrival process."""
+        return self.requests[-1].arrival - self.requests[0].arrival
+
+    @property
+    def total_gen_tokens(self) -> int:
+        """Tokens the trace asks for."""
+        return sum(r.gen_tokens for r in self.requests)
+
+
+def synthesize_trace(
+    *,
+    num_requests: int,
+    arrival_rate: float,
+    mean_prompt: int = 128,
+    mean_gen: int = 32,
+    seed: int = 0,
+) -> WorkloadTrace:
+    """Poisson arrivals with geometric-ish prompt/generation lengths."""
+    if num_requests < 1 or arrival_rate <= 0:
+        raise ValueError("num_requests >= 1 and arrival_rate > 0 required")
+    if mean_prompt < 1 or mean_gen < 1:
+        raise ValueError("mean lengths must be >= 1")
+    rng = np.random.default_rng(seed)
+    gaps = rng.exponential(1.0 / arrival_rate, size=num_requests)
+    arrivals = np.cumsum(gaps)
+    prompts = np.maximum(1, rng.poisson(mean_prompt, size=num_requests))
+    gens = np.maximum(1, rng.poisson(mean_gen, size=num_requests))
+    return WorkloadTrace(
+        tuple(
+            Request(i, float(arrivals[i]), int(prompts[i]), int(gens[i]))
+            for i in range(num_requests)
+        )
+    )
+
+
+@dataclass
+class _Live:
+    req: Request
+    remaining: int
+    start: float
+    first_token: float | None = None
+
+
+@dataclass(frozen=True)
+class ServingReport:
+    """Outcome of replaying one trace."""
+
+    makespan: float
+    finish_times: dict[int, float]
+    first_token_times: dict[int, float]
+    queue_delays: dict[int, float]
+    total_tokens: int
+
+    def latency(self, request: Request) -> float:
+        """End-to-end latency of one request."""
+        return self.finish_times[request.request_id] - request.arrival
+
+    def _percentile(self, values: list[float], q: float) -> float:
+        return float(np.percentile(np.array(values), q))
+
+    def latency_percentile(self, trace: WorkloadTrace, q: float) -> float:
+        """qth percentile of end-to-end latency."""
+        return self._percentile([self.latency(r) for r in trace.requests], q)
+
+    def ttft_percentile(self, trace: WorkloadTrace, q: float) -> float:
+        """qth percentile of time to first token."""
+        return self._percentile(
+            [self.first_token_times[r.request_id] - r.arrival
+             for r in trace.requests],
+            q,
+        )
+
+    @property
+    def tokens_per_second(self) -> float:
+        """Sustained generation throughput over the busy period."""
+        return self.total_tokens / self.makespan if self.makespan > 0 else 0.0
+
+
+def simulate_serving(
+    trace: WorkloadTrace,
+    *,
+    prompt_time: Callable[[int, int], float],
+    step_time: Callable[[int], float],
+    max_batch: int,
+) -> ServingReport:
+    """Replay ``trace`` through a continuous-batching server.
+
+    ``prompt_time(batch_tokens, prompt_len)`` prices admitting one
+    request's prompt; ``step_time(batch)`` prices one decode iteration
+    generating one token for each of ``batch`` live sequences. Both come
+    from the performance model (see :func:`serving_step_times`).
+    """
+    if max_batch < 1:
+        raise ValueError("max_batch must be >= 1")
+    pending = list(trace.requests)
+    live: list[_Live] = []
+    now = 0.0
+    finish: dict[int, float] = {}
+    first: dict[int, float] = {}
+    delays: dict[int, float] = {}
+    total_tokens = 0
+
+    while pending or live:
+        # Fast-forward to the next arrival when idle.
+        if not live and pending and pending[0].arrival > now:
+            now = pending[0].arrival
+        # Admit arrivals into free slots, paying their prompt passes.
+        while pending and pending[0].arrival <= now and len(live) < max_batch:
+            req = pending.pop(0)
+            delays[req.request_id] = now - req.arrival
+            now += prompt_time(len(live) + 1, req.prompt_len)
+            live.append(_Live(req=req, remaining=req.gen_tokens, start=now))
+            first[req.request_id] = now  # prompt pass yields token 1
+            total_tokens += 1
+            live[-1].remaining -= 1
+            live[-1].first_token = now
+            if live[-1].remaining == 0:
+                finish[req.request_id] = now
+                live.pop()
+        if not live:
+            continue
+        # One decode iteration for every live sequence.
+        now += step_time(len(live))
+        total_tokens += len(live)
+        still: list[_Live] = []
+        for s in live:
+            s.remaining -= 1
+            if s.remaining <= 0:
+                finish[s.req.request_id] = now
+            else:
+                still.append(s)
+        live = still
+
+    return ServingReport(
+        makespan=now,
+        finish_times=finish,
+        first_token_times=first,
+        queue_delays=delays,
+        total_tokens=total_tokens,
+    )
+
+
+def serving_step_times(latency_model, *, mean_prompt: int, mean_gen: int):
+    """Build (prompt_time, step_time) callables from a dense latency model.
+
+    The decode step is priced at a representative KV length (prompt plus
+    half the generation); prompt passes at their own length.
+    """
+    kv = mean_prompt + mean_gen // 2
+
+    def prompt_time(batch: int, prompt_len: int) -> float:
+        k, c = latency_model.step_time(1, prompt_len, prompt_len)
+        return k + c
+
+    def step_time(batch: int) -> float:
+        k, c = latency_model.step_time(max(1, batch), 1, kv)
+        return k + c
+
+    return prompt_time, step_time

@@ -1,0 +1,111 @@
+"""Deployment auto-tuning: pick TP/PP/batch/schedule for a workload.
+
+The paper frames production inference as throughput maximization *under
+a latency SLA* (Sec. I, "Throughput Challenges"). This tuner searches
+the deployment space the paper's systems expose — tensor-parallel degree
+(powers of two dividing the head count), pipeline depth, hybrid-schedule
+prompt factor, and batch size — and returns the best throughput whose
+per-token latency meets the SLA.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..hardware.topology import ClusterSpec
+from ..model.config import ModelConfig
+from .latency import DenseLatencyModel, Workload
+from .offload import max_batch_size
+from .throughput import candidate_batches
+
+__all__ = ["TuningResult", "tune_dense_deployment"]
+
+
+@dataclass(frozen=True)
+class TuningResult:
+    """Winning configuration of one tuning run."""
+
+    tp: int
+    pp: int
+    batch: int
+    hybrid_prompt_factor: int
+    token_latency: float
+    tokens_per_second: float
+    num_gpus: int
+
+    @property
+    def tokens_per_second_per_gpu(self) -> float:
+        """Cost-normalized throughput."""
+        return self.tokens_per_second / self.num_gpus
+
+
+def _tp_candidates(config: ModelConfig, cluster: ClusterSpec, max_gpus: int):
+    tp = 1
+    while tp <= min(cluster.node.gpus_per_node, max_gpus):
+        if config.heads % tp == 0:
+            yield tp
+        tp *= 2
+
+
+def tune_dense_deployment(
+    config: ModelConfig,
+    cluster: ClusterSpec,
+    *,
+    prompt_len: int,
+    gen_tokens: int,
+    latency_sla: float | None = None,
+    max_gpus: int | None = None,
+    hybrid_factors: tuple[int, ...] = (1, 2, 4),
+) -> TuningResult:
+    """Search TP x PP x batch x hybrid-factor for the best SLA-compliant
+    throughput.
+
+    ``latency_sla`` bounds the steady-state per-token latency in seconds
+    (None = throughput-oriented, no bound). Raises ``ValueError`` when no
+    feasible configuration exists.
+    """
+    if prompt_len < 1 or gen_tokens < 1:
+        raise ValueError("prompt_len and gen_tokens must be >= 1")
+    max_gpus = cluster.num_gpus if max_gpus is None else max_gpus
+    if max_gpus < 1:
+        raise ValueError("max_gpus must be >= 1")
+    seq = prompt_len + gen_tokens
+
+    best: TuningResult | None = None
+    for tp in _tp_candidates(config, cluster, max_gpus):
+        for pp in range(1, max_gpus // tp + 1):
+            if pp > config.layers:
+                break
+            cap = max_batch_size(config, cluster, tp=tp, pp=pp, seq_len=seq)
+            if cap < 1:
+                continue
+            factors = hybrid_factors if pp > 1 else (1,)
+            for hf in factors:
+                model = DenseLatencyModel(
+                    config, cluster, tp=tp, pp=pp, hybrid_prompt_factor=hf
+                )
+                for batch in candidate_batches(cap):
+                    r = model.estimate(
+                        Workload(batch=batch, prompt_len=prompt_len,
+                                 gen_tokens=gen_tokens)
+                    )
+                    if latency_sla is not None and r.token_latency > latency_sla:
+                        continue
+                    cand = TuningResult(
+                        tp=tp, pp=pp, batch=batch, hybrid_prompt_factor=hf,
+                        token_latency=r.token_latency,
+                        tokens_per_second=r.tokens_per_second,
+                        num_gpus=tp * pp,
+                    )
+                    if best is None or (
+                        cand.tokens_per_second > best.tokens_per_second
+                    ):
+                        best = cand
+            # Deeper pipelines only pay once shallow ones stop fitting or
+            # the SLA binds; keep searching — the space is small.
+    if best is None:
+        raise ValueError(
+            f"no feasible deployment of {config.name} on {cluster.name} "
+            f"meets the constraints (sla={latency_sla}, max_gpus={max_gpus})"
+        )
+    return best

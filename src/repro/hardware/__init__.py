@@ -1,0 +1,72 @@
+"""Hardware substrate: device specs, cluster topologies, memory accounting.
+
+These are the published numbers of the paper's testbeds (Sec. VII-A4); the
+performance model consumes them, and substituting different specs lets a
+user explore other deployments.
+"""
+
+from .memory import MemoryPool, OutOfDeviceMemory, Reservation
+from .specs import (
+    A100_40GB,
+    A6000,
+    CPUSpec,
+    DType,
+    GB,
+    GPU_REGISTRY,
+    GPUSpec,
+    GiB,
+    INFINIBAND_HDR,
+    LinkSpec,
+    MS,
+    NVLINK2,
+    NVLINK3,
+    NVME_RAID,
+    NVME_SINGLE,
+    NVMeSpec,
+    PCIE3_X16,
+    PCIE4_X16,
+    US,
+    V100_32GB,
+    XEON_8280,
+)
+from .topology import (
+    ClusterSpec,
+    DeviceId,
+    NodeSpec,
+    dgx2_v100,
+    dgx_a100_cluster,
+    lambda_a6000_workstation,
+)
+
+__all__ = [
+    "A100_40GB",
+    "A6000",
+    "CPUSpec",
+    "ClusterSpec",
+    "DType",
+    "DeviceId",
+    "GB",
+    "GPU_REGISTRY",
+    "GPUSpec",
+    "GiB",
+    "INFINIBAND_HDR",
+    "LinkSpec",
+    "MS",
+    "MemoryPool",
+    "NVLINK2",
+    "NVLINK3",
+    "NVME_RAID",
+    "NVME_SINGLE",
+    "NVMeSpec",
+    "NodeSpec",
+    "OutOfDeviceMemory",
+    "PCIE3_X16",
+    "PCIE4_X16",
+    "Reservation",
+    "US",
+    "V100_32GB",
+    "XEON_8280",
+    "dgx2_v100",
+    "dgx_a100_cluster",
+    "lambda_a6000_workstation",
+]

@@ -1,0 +1,112 @@
+"""Sharded on-disk checkpoints: the layer-granular weight store on real
+storage.
+
+ZeRO-Inference keeps weights on DRAM/NVMe and streams layers in
+(Sec. VI-A); the natural at-rest format is one file per layer so a
+streaming executor (or a pinned-weights one) can read exactly what it
+needs. This module saves/loads :class:`DenseTransformer` weights as a
+directory of ``.npz`` shards plus embeddings, with integrity checks —
+giving the repo a real serve-from-disk path, not just an in-memory
+simulation of one.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from .config import ModelConfig, MoESpec
+from .dense import DenseTransformer, LayerWeights
+
+__all__ = ["save_checkpoint", "load_checkpoint", "checkpoint_layer_file"]
+
+_MANIFEST = "manifest.json"
+_LAYER_FIELDS = list(LayerWeights.__dataclass_fields__)
+
+
+def checkpoint_layer_file(directory: Path | str, layer: int) -> Path:
+    """Path of one layer's shard inside a checkpoint directory."""
+    return Path(directory) / f"layer_{layer:04d}.npz"
+
+
+def save_checkpoint(model: DenseTransformer, directory: Path | str) -> Path:
+    """Write ``model`` as a sharded checkpoint; returns the directory."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    cfg = model.config
+    manifest = {
+        "format": "repro-sharded-v1",
+        "config": {
+            "name": cfg.name,
+            "hidden": cfg.hidden,
+            "layers": cfg.layers,
+            "heads": cfg.heads,
+            "vocab": cfg.vocab,
+            "max_seq": cfg.max_seq,
+            "ffn_mult": cfg.ffn_mult,
+            "moe_experts": cfg.moe.num_experts if cfg.moe else None,
+            "pos_encoding": cfg.pos_encoding,
+        },
+        "dtype": str(np.dtype(model.dtype)),
+        "layer_fields": _LAYER_FIELDS,
+    }
+    (directory / _MANIFEST).write_text(json.dumps(manifest, indent=2))
+    np.savez(
+        directory / "embeddings.npz",
+        wte=model.wte,
+        wpe=model.wpe,
+        lnf_g=model.lnf_g,
+        lnf_b=model.lnf_b,
+    )
+    for i, lw in enumerate(model.layers):
+        np.savez(
+            checkpoint_layer_file(directory, i),
+            **{f: getattr(lw, f) for f in _LAYER_FIELDS},
+        )
+    return directory
+
+
+def load_checkpoint(directory: Path | str) -> DenseTransformer:
+    """Reconstruct a :class:`DenseTransformer` from a sharded checkpoint."""
+    directory = Path(directory)
+    manifest_path = directory / _MANIFEST
+    if not manifest_path.exists():
+        raise FileNotFoundError(f"no checkpoint manifest in {directory}")
+    manifest = json.loads(manifest_path.read_text())
+    if manifest.get("format") != "repro-sharded-v1":
+        raise ValueError(f"unknown checkpoint format {manifest.get('format')!r}")
+    c = manifest["config"]
+    cfg = ModelConfig(
+        name=c["name"],
+        hidden=c["hidden"],
+        layers=c["layers"],
+        heads=c["heads"],
+        vocab=c["vocab"],
+        max_seq=c["max_seq"],
+        ffn_mult=c["ffn_mult"],
+        moe=MoESpec(c["moe_experts"]) if c.get("moe_experts") else None,
+        pos_encoding=c.get("pos_encoding", "learned"),
+    )
+    dtype = np.dtype(manifest["dtype"]).type
+    model = DenseTransformer(cfg, seed=0, dtype=dtype)
+
+    emb = np.load(directory / "embeddings.npz")
+    model.wte = emb["wte"]
+    model.wpe = emb["wpe"]
+    model.lnf_g = emb["lnf_g"]
+    model.lnf_b = emb["lnf_b"]
+
+    for i in range(cfg.layers):
+        path = checkpoint_layer_file(directory, i)
+        if not path.exists():
+            raise FileNotFoundError(f"missing layer shard {path.name}")
+        shard = np.load(path)
+        fields = {}
+        for f in manifest["layer_fields"]:
+            if f not in shard:
+                raise ValueError(f"layer shard {path.name} missing field {f!r}")
+            fields[f] = shard[f]
+        model.layers[i] = LayerWeights(**fields)
+    return model

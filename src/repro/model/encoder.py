@@ -1,0 +1,94 @@
+"""Functional encoder transformer (BERT-class models, Fig. 12).
+
+The paper's kernels "support encoder, decoder, and sparsely gated MoE
+models" (Sec. VII-E6); the E.T. comparison runs on DistilBERT/BERT.
+An encoder block is the same op chain as a decoder block with
+bidirectional (non-causal) attention and no KV cache — which is exactly
+how this class composes the shared functional kernels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..kernels.functional import (
+    bias_residual,
+    gelu,
+    layer_norm,
+    linear,
+    merge_heads,
+    scaled_dot_product_attention,
+    split_heads,
+)
+from .config import ModelConfig
+from .dense import LayerWeights, init_layer_weights
+
+__all__ = ["EncoderTransformer"]
+
+
+class EncoderTransformer:
+    """A runnable BERT-style bidirectional encoder."""
+
+    def __init__(self, config: ModelConfig, *, seed: int = 0, dtype=np.float64) -> None:
+        if config.decoder:
+            raise ValueError(
+                f"{config.name} is a decoder config; EncoderTransformer "
+                "expects decoder=False"
+            )
+        self.config = config
+        rng = np.random.default_rng(seed)
+        h = config.hidden
+        self.wte = (rng.standard_normal((config.vocab, h)) * 0.02).astype(dtype)
+        self.wpe = (rng.standard_normal((config.max_seq, h)) * 0.01).astype(dtype)
+        self.layers: list[LayerWeights] = [
+            init_layer_weights(h, config.ffn_mult, rng, dtype)
+            for _ in range(config.layers)
+        ]
+        self.lnf_g = np.ones(h, dtype=dtype)
+        self.lnf_b = np.zeros(h, dtype=dtype)
+
+    def encoder_block(
+        self, x: np.ndarray, lw: LayerWeights, key_mask: np.ndarray | None
+    ) -> np.ndarray:
+        """One block: bidirectional attention + FFN, pre-LN residuals."""
+        heads = self.config.heads
+        qkv = linear(layer_norm(x, lw.ln1_g, lw.ln1_b), lw.w_qkv, lw.b_qkv)
+        q, k, v = (split_heads(t, heads) for t in np.split(qkv, 3, axis=-1))
+        ctx = scaled_dot_product_attention(q, k, v, causal=False,
+                                           key_mask=key_mask)
+        x = bias_residual(linear(merge_heads(ctx), lw.w_out), lw.b_out, x)
+        normed = layer_norm(x, lw.ln2_g, lw.ln2_b)
+        ffn = linear(gelu(linear(normed, lw.w_fc, lw.b_fc)), lw.w_proj)
+        return x + ffn + lw.b_proj
+
+    def encode(
+        self, token_ids: np.ndarray, attention_mask: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Contextual embeddings ``(batch, seq, hidden)``.
+
+        ``attention_mask`` is an optional ``(batch, seq)`` boolean array
+        marking real (non-padding) tokens; padded positions neither give
+        nor (in pooling) receive contribution.
+        """
+        token_ids = np.atleast_2d(token_ids)
+        if token_ids.max(initial=0) >= self.config.vocab or token_ids.min(initial=0) < 0:
+            raise ValueError("token id out of vocabulary range")
+        if token_ids.shape[1] > self.config.max_seq:
+            raise ValueError("sequence exceeds max_seq")
+        if attention_mask is not None and attention_mask.shape != token_ids.shape:
+            raise ValueError("attention_mask must match token_ids shape")
+        x = self.wte[token_ids] + self.wpe[: token_ids.shape[1]]
+        for lw in self.layers:
+            x = self.encoder_block(x, lw, attention_mask)
+        return layer_norm(x, self.lnf_g, self.lnf_b)
+
+    def pooled(
+        self, token_ids: np.ndarray, attention_mask: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Mean-pooled sequence embedding ``(batch, hidden)`` (mask-aware)."""
+        out = self.encode(token_ids, attention_mask)
+        if attention_mask is None:
+            return out.mean(axis=1)
+        w = attention_mask.astype(out.dtype)
+        denom = np.maximum(w.sum(axis=1, keepdims=True), 1.0)
+        return (out * w[:, :, None]).sum(axis=1) / denom

@@ -1,0 +1,189 @@
+"""Paged KV cache: block-granular cache memory with a free-list allocator.
+
+Sec. IV-B identifies KV-cache capacity as the limiter for concurrent
+sequences; contiguous per-sequence buffers waste memory on growth slack
+and fragmentation. The paged design (popularized after the paper by
+vLLM) carves cache memory into fixed-size blocks, grows each sequence's
+cache one block at a time through an indirection table, and returns
+blocks to a free list the moment a sequence finishes — so the feasible
+batch tracks *actual* tokens, not worst-case lengths.
+
+:class:`PagedKVCache` exposes the same interface as
+:class:`~repro.model.kvcache.KVCache` (``append``/``get``/``seq_len``/
+``nbytes``), so any decoder runs on it unchanged; tests pin exact
+equality of decoding results plus the allocator's accounting invariants.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["OutOfBlocks", "BlockAllocator", "PagedKVCache"]
+
+
+class OutOfBlocks(RuntimeError):
+    """Raised when the block pool cannot satisfy an allocation."""
+
+
+class BlockAllocator:
+    """Fixed pool of cache blocks with O(1) alloc/free."""
+
+    def __init__(self, num_blocks: int) -> None:
+        if num_blocks < 1:
+            raise ValueError("num_blocks must be >= 1")
+        self.num_blocks = num_blocks
+        self._free = list(range(num_blocks - 1, -1, -1))
+
+    @property
+    def free_blocks(self) -> int:
+        """Blocks currently available."""
+        return len(self._free)
+
+    @property
+    def used_blocks(self) -> int:
+        """Blocks currently held by caches."""
+        return self.num_blocks - len(self._free)
+
+    def alloc(self) -> int:
+        """Take one block id; raise :class:`OutOfBlocks` when exhausted."""
+        if not self._free:
+            raise OutOfBlocks(
+                f"all {self.num_blocks} KV blocks are in use"
+            )
+        return self._free.pop()
+
+    def free(self, block: int) -> None:
+        """Return a block to the pool."""
+        if not 0 <= block < self.num_blocks:
+            raise ValueError(f"block {block} out of range")
+        if block in self._free:
+            raise ValueError(f"double free of block {block}")
+        self._free.append(block)
+
+
+class PagedKVCache:
+    """KV cache storing ``(batch, heads, seq, hd)`` growth in blocks.
+
+    One logical cache serves one batch (like :class:`KVCache`); each
+    (layer, kind) stream owns a list of block ids into a shared pool.
+    Blocks hold ``block_size`` sequence positions for the whole batch.
+    """
+
+    def __init__(
+        self,
+        num_layers: int,
+        allocator: BlockAllocator,
+        *,
+        block_size: int = 16,
+    ) -> None:
+        if num_layers < 1:
+            raise ValueError("num_layers must be >= 1")
+        if block_size < 1:
+            raise ValueError("block_size must be >= 1")
+        self.num_layers = num_layers
+        self.block_size = block_size
+        self.allocator = allocator
+        # per layer: list of block ids, one shared length counter
+        self._blocks: list[list[int]] = [[] for _ in range(num_layers)]
+        self._len = [0] * num_layers
+        # block storage created lazily once shapes are known
+        self._store_k: dict[int, np.ndarray] = {}
+        self._store_v: dict[int, np.ndarray] = {}
+        self._shape: tuple | None = None  # (batch, heads, head_dim)
+        self._freed = False
+
+    # -- internals -----------------------------------------------------------
+
+    def _check_layer(self, layer: int) -> None:
+        if not 0 <= layer < self.num_layers:
+            raise IndexError(f"layer {layer} out of range")
+        if self._freed:
+            raise RuntimeError("cache was freed")
+
+    def _ensure_shape(self, k: np.ndarray) -> None:
+        shape = (k.shape[0], k.shape[1], k.shape[3])
+        if self._shape is None:
+            self._shape = shape
+        elif shape != self._shape:
+            raise ValueError("batch/heads/head_dim mismatch with cache")
+
+    def _grow(self, layer: int, new_len: int, dtype) -> None:
+        b, h, d = self._shape
+        needed = -(-new_len // self.block_size)  # ceil
+        while len(self._blocks[layer]) < needed:
+            blk = self.allocator.alloc()
+            self._blocks[layer].append(blk)
+            self._store_k[blk] = np.zeros((b, h, self.block_size, d), dtype)
+            self._store_v[blk] = np.zeros((b, h, self.block_size, d), dtype)
+
+    def _write(self, store, layer: int, start: int, data: np.ndarray) -> None:
+        pos = start
+        remaining = data
+        while remaining.shape[2]:
+            blk = self._blocks[layer][pos // self.block_size]
+            off = pos % self.block_size
+            take = min(self.block_size - off, remaining.shape[2])
+            store[blk][:, :, off : off + take] = remaining[:, :, :take]
+            remaining = remaining[:, :, take:]
+            pos += take
+
+    def _gather(self, store, layer: int) -> np.ndarray:
+        n = self._len[layer]
+        parts = [store[blk] for blk in self._blocks[layer]]
+        if not parts:
+            return None
+        return np.concatenate(parts, axis=2)[:, :, :n]
+
+    # -- KVCache interface ----------------------------------------------------
+
+    def append(self, layer: int, k: np.ndarray, v: np.ndarray):
+        """Append new K/V; returns the full (gathered) cached tensors."""
+        self._check_layer(layer)
+        if k.shape != v.shape or k.ndim != 4:
+            raise ValueError("expected matching (batch, heads, seq, hd)")
+        self._ensure_shape(k)
+        start = self._len[layer]
+        new_len = start + k.shape[2]
+        self._grow(layer, new_len, k.dtype)
+        self._write(self._store_k, layer, start, k)
+        self._write(self._store_v, layer, start, v)
+        self._len[layer] = new_len
+        return self.get(layer)
+
+    def get(self, layer: int):
+        """Current cached K/V (contiguous views gathered from blocks)."""
+        self._check_layer(layer)
+        return (
+            self._gather(self._store_k, layer),
+            self._gather(self._store_v, layer),
+        )
+
+    def seq_len(self, layer: int = 0) -> int:
+        """Cached positions for ``layer``."""
+        self._check_layer(layer)
+        return self._len[layer]
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes held in allocated blocks (both K and V)."""
+        return sum(a.nbytes for a in self._store_k.values()) + sum(
+            a.nbytes for a in self._store_v.values()
+        )
+
+    @property
+    def blocks_held(self) -> int:
+        """Blocks this cache currently owns."""
+        return sum(len(bs) for bs in self._blocks)
+
+    def free(self) -> None:
+        """Return every block to the allocator (sequence finished)."""
+        if self._freed:
+            return
+        for layer_blocks in self._blocks:
+            for blk in layer_blocks:
+                self.allocator.free(blk)
+                self._store_k.pop(blk, None)
+                self._store_v.pop(blk, None)
+            layer_blocks.clear()
+        self._len = [0] * self.num_layers
+        self._freed = True

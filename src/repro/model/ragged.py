@@ -1,0 +1,144 @@
+"""Ragged batched decoding: mixed-length prompts in one forward pass.
+
+A serving engine rarely sees equal-length prompts. The standard trick is
+to right-pad the batch, carry a validity mask over the padded KV slots,
+and give each row its own position timeline — then decode all rows one
+token per step, regardless of how their prompt lengths differ.
+
+:class:`RaggedDecoder` implements this over the functional model and is
+tested for *exact* agreement with running each prompt alone: padding,
+masking and per-row positions must be invisible in the outputs. It works
+for both learned and rotary position encodings (learned embeddings index
+per-row positions; RoPE rotates at per-row positions).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..kernels.functional import (
+    apply_rotary,
+    bias_residual,
+    layer_norm,
+    linear,
+    merge_heads,
+    scaled_dot_product_attention,
+    split_heads,
+)
+from .dense import DenseTransformer
+from .kvcache import KVCache
+
+__all__ = ["RaggedDecoder"]
+
+
+class RaggedDecoder:
+    """Stateful batched decoder over right-padded, masked sequences."""
+
+    def __init__(self, model: DenseTransformer) -> None:
+        self.model = model
+        self._cache: KVCache | None = None
+        self._key_valid: np.ndarray | None = None  # (b, T) over cached slots
+        self._key_pos: np.ndarray | None = None  # (b, T) per-row positions
+        self._row_len: np.ndarray | None = None  # (b,) real tokens so far
+
+    @property
+    def batch(self) -> int:
+        """Rows being decoded (0 before prefill)."""
+        return 0 if self._row_len is None else self._row_len.shape[0]
+
+    # -- internals -----------------------------------------------------------
+
+    def _attention(self, x, lw, layer_idx, positions):
+        cfg = self.model.config
+        qkv = linear(layer_norm(x, lw.ln1_g, lw.ln1_b), lw.w_qkv, lw.b_qkv)
+        q, k, v = (split_heads(t, cfg.heads) for t in np.split(qkv, 3, axis=-1))
+        if cfg.pos_encoding == "rotary":
+            q = apply_rotary(q, positions=positions)
+            k = apply_rotary(k, positions=positions)
+        k, v = self._cache.append(layer_idx, k, v)
+        ctx = scaled_dot_product_attention(
+            q, k, v,
+            causal=True,
+            key_mask=self._key_valid,
+            query_positions=positions,
+            key_positions=self._key_pos,
+        )
+        proj = linear(merge_heads(ctx), lw.w_out)
+        return bias_residual(proj, lw.b_out, x)
+
+    def _forward(self, ids: np.ndarray, positions: np.ndarray) -> np.ndarray:
+        model = self.model
+        x = model.wte[ids]
+        if model.config.pos_encoding == "learned":
+            x = x + model.wpe[positions]
+        for i, lw in enumerate(model.layers):
+            x = self._attention(x, lw, i, positions)
+            x = model.mlp_block(x, lw, i)
+        x = layer_norm(x, model.lnf_g, model.lnf_b)
+        return x @ model.wte.T
+
+    # -- public API ----------------------------------------------------------
+
+    def prefill(self, prompts: list[np.ndarray]) -> np.ndarray:
+        """Process mixed-length prompts; returns each row's next-token
+        logits, shape ``(batch, vocab)``."""
+        if self._cache is not None:
+            raise RuntimeError("prefill may only be called once")
+        if not prompts:
+            raise ValueError("need at least one prompt")
+        lengths = np.array([np.asarray(p).size for p in prompts])
+        if (lengths < 1).any():
+            raise ValueError("every prompt needs at least one token")
+        b, max_len = len(prompts), int(lengths.max())
+        ids = np.zeros((b, max_len), dtype=int)
+        for i, p in enumerate(prompts):
+            ids[i, : lengths[i]] = np.asarray(p).ravel()
+        idx = np.arange(max_len)
+        valid = idx[None, :] < lengths[:, None]
+        # Right padding keeps real tokens at their solo positions 0..len-1;
+        # pads carry in-range position ids but are masked out of attention.
+        positions = np.broadcast_to(idx, (b, max_len)).copy()
+
+        self._cache = KVCache(self.model.config.layers)
+        self._key_valid = valid
+        self._key_pos = positions
+        self._row_len = lengths.copy()
+        logits = self._forward(ids, positions)
+        return logits[np.arange(b), lengths - 1]
+
+    def step(self, tokens: np.ndarray) -> np.ndarray:
+        """Append one token per row; returns next-token logits ``(b, vocab)``."""
+        if self._cache is None:
+            raise RuntimeError("call prefill first")
+        tokens = np.asarray(tokens, dtype=int).reshape(-1, 1)
+        if tokens.shape[0] != self.batch:
+            raise ValueError(f"expected {self.batch} tokens")
+        positions = self._row_len.reshape(-1, 1).copy()
+        if int(positions.max()) >= self.model.config.max_seq:
+            raise ValueError("sequence exceeds max_seq")
+        self._key_valid = np.concatenate(
+            [self._key_valid, np.ones((self.batch, 1), dtype=bool)], axis=1
+        )
+        self._key_pos = np.concatenate([self._key_pos, positions], axis=1)
+        logits = self._forward(tokens, positions)
+        self._row_len = self._row_len + 1
+        return logits[:, -1]
+
+    def generate(self, prompts: list[np.ndarray], num_tokens: int) -> list[np.ndarray]:
+        """Greedy-decode ``num_tokens`` per row; returns full sequences.
+
+        Exactly equivalent to ``model.generate`` on each prompt alone.
+        """
+        if num_tokens < 1:
+            raise ValueError("num_tokens must be >= 1")
+        logits = self.prefill(prompts)
+        outs = [list(np.asarray(p).ravel()) for p in prompts]
+        next_tok = logits.argmax(axis=-1)
+        for i in range(self.batch):
+            outs[i].append(int(next_tok[i]))
+        for _ in range(num_tokens - 1):
+            logits = self.step(next_tok)
+            next_tok = logits.argmax(axis=-1)
+            for i in range(self.batch):
+                outs[i].append(int(next_tok[i]))
+        return [np.array(o) for o in outs]

@@ -1,0 +1,99 @@
+"""Quantized (INT8) tensor-parallel linear layers — DeepSpeed-INT8's
+datapath, functionally.
+
+Sec. III-D stores weights in INT8 and dequantizes in the GeMM epilogue.
+Under tensor parallelism that composes cleanly with Megatron sharding:
+
+* **column-parallel** layers shard the *output* dimension. Per-output-
+  column scales are local to each shard, so quantizing the shards is
+  *bit-identical* to quantizing the full matrix and then sharding —
+  tested exactly.
+* **row-parallel** layers shard the *input* dimension. Each shard
+  quantizes its rows against its own per-column absmax, the integer
+  partial products dequantize locally (the epilogue), and the float
+  partial sums all-reduce. The result differs from full-matrix
+  quantization only through each shard's (tighter!) scales, and stays
+  within the standard half-LSB error bound of the float reference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..comm.functional import Communicator
+from ..kernels.quant import QuantizedTensor, int8_linear, quantize_symmetric
+
+__all__ = [
+    "QuantizedColumnParallelLinear",
+    "QuantizedRowParallelLinear",
+    "shard_quantize_column",
+    "shard_quantize_row",
+]
+
+
+@dataclass(frozen=True)
+class QuantizedColumnParallelLinear:
+    """One rank's INT8 shard of an output-sharded linear layer."""
+
+    qweight: QuantizedTensor  # (in, out/tp)
+    bias: np.ndarray | None  # (out/tp,)
+
+    def forward(self, comm: Communicator, x: np.ndarray) -> np.ndarray:
+        """Full ``(..., out)`` output via local INT8 GeMM + all-gather."""
+        local = int8_linear(x, self.qweight, self.bias)
+        return comm.allgather(local, axis=-1)
+
+    def forward_local(self, x: np.ndarray) -> np.ndarray:
+        """This rank's output slice only (no communication) — used when
+        the consumer is head-local attention work."""
+        return int8_linear(x, self.qweight, self.bias)
+
+
+@dataclass(frozen=True)
+class QuantizedRowParallelLinear:
+    """One rank's INT8 shard of an input-sharded linear layer."""
+
+    qweight: QuantizedTensor  # (in/tp, out)
+    bias: np.ndarray | None  # (out,), added once after the reduction
+
+    def forward(self, comm: Communicator, x_local: np.ndarray) -> np.ndarray:
+        """All-reduced ``(..., out)`` output from this rank's input slice."""
+        partial = int8_linear(x_local, self.qweight)  # dequantized floats
+        full = comm.allreduce(partial)
+        if self.bias is not None:
+            full = full + self.bias
+        return full
+
+
+def shard_quantize_column(
+    weight: np.ndarray, bias: np.ndarray | None, rank: int, tp: int
+) -> QuantizedColumnParallelLinear:
+    """Shard ``(in, out)`` by output columns, then quantize the shard."""
+    _check(weight, rank, tp, axis=1)
+    cols = weight.shape[1] // tp
+    w = weight[:, rank * cols : (rank + 1) * cols]
+    b = None if bias is None else bias[rank * cols : (rank + 1) * cols]
+    return QuantizedColumnParallelLinear(quantize_symmetric(w), b)
+
+
+def shard_quantize_row(
+    weight: np.ndarray, bias: np.ndarray | None, rank: int, tp: int
+) -> QuantizedRowParallelLinear:
+    """Shard ``(in, out)`` by input rows, then quantize the shard."""
+    _check(weight, rank, tp, axis=0)
+    rows = weight.shape[0] // tp
+    w = weight[rank * rows : (rank + 1) * rows, :]
+    return QuantizedRowParallelLinear(quantize_symmetric(w), bias)
+
+
+def _check(weight: np.ndarray, rank: int, tp: int, *, axis: int) -> None:
+    if weight.ndim != 2:
+        raise ValueError("expected a 2-D weight")
+    if tp < 1 or not 0 <= rank < tp:
+        raise ValueError("need 0 <= rank < tp")
+    if weight.shape[axis] % tp:
+        raise ValueError(
+            f"dimension {weight.shape[axis]} not divisible by tp={tp}"
+        )

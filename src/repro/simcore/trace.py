@@ -1,0 +1,131 @@
+"""Timeline tracing: record spans per lane, compute utilization and bubbles.
+
+The pipeline figures of the paper (Fig. 2, Fig. 3) are timeline diagrams;
+this module is their machine-readable counterpart. Each pipeline stage /
+link / GPU gets a *lane*, processes record ``(start, end, label)`` spans,
+and the analysis helpers answer the questions the paper asks of the
+schedules: how big are the bubbles, what fraction of the makespan is each
+stage busy, do two spans on one lane ever overlap (which would indicate a
+broken schedule).
+"""
+
+from __future__ import annotations
+
+from bisect import insort
+from dataclasses import dataclass
+
+__all__ = ["Span", "Timeline"]
+
+
+@dataclass(frozen=True, order=True)
+class Span:
+    """A half-open interval ``[start, end)`` of activity on one lane."""
+
+    start: float
+    end: float
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ValueError("span ends before it starts")
+
+    @property
+    def duration(self) -> float:
+        """Length of the span."""
+        return self.end - self.start
+
+
+class Timeline:
+    """Spans grouped by lane, kept sorted by start time."""
+
+    def __init__(self) -> None:
+        self._lanes: dict[str, list[Span]] = {}
+
+    def record(self, lane: str, start: float, end: float, label: str = "") -> Span:
+        """Add a span to ``lane`` and return it."""
+        span = Span(start, end, label)
+        insort(self._lanes.setdefault(lane, []), span)
+        return span
+
+    def lanes(self) -> list[str]:
+        """Lane names in insertion-independent (sorted) order."""
+        return sorted(self._lanes)
+
+    def spans(self, lane: str) -> list[Span]:
+        """Spans of one lane, ordered by start."""
+        return list(self._lanes.get(lane, []))
+
+    def makespan(self) -> float:
+        """End of the last span across all lanes (0.0 when empty)."""
+        ends = [s.end for spans in self._lanes.values() for s in spans]
+        return max(ends, default=0.0)
+
+    def busy_time(self, lane: str) -> float:
+        """Total busy time of a lane, merging any overlapping spans."""
+        spans = self._lanes.get(lane, [])
+        total = 0.0
+        cur_start = cur_end = None
+        for s in spans:
+            if cur_end is None or s.start > cur_end:
+                if cur_end is not None:
+                    total += cur_end - cur_start
+                cur_start, cur_end = s.start, s.end
+            else:
+                cur_end = max(cur_end, s.end)
+        if cur_end is not None:
+            total += cur_end - cur_start
+        return total
+
+    def utilization(self, lane: str, horizon: float | None = None) -> float:
+        """Busy fraction of ``lane`` over ``horizon`` (default: makespan)."""
+        horizon = self.makespan() if horizon is None else horizon
+        if horizon <= 0:
+            return 0.0
+        return min(1.0, self.busy_time(lane) / horizon)
+
+    def bubble_time(self, lane: str, horizon: float | None = None) -> float:
+        """Idle time of ``lane`` within the horizon — the pipeline bubble."""
+        horizon = self.makespan() if horizon is None else horizon
+        return max(0.0, horizon - self.busy_time(lane))
+
+    def has_overlap(self, lane: str) -> bool:
+        """True if two spans on ``lane`` overlap (schedule validity check)."""
+        spans = self._lanes.get(lane, [])
+        for a, b in zip(spans, spans[1:]):
+            if b.start < a.end - 1e-15:
+                return True
+        return False
+
+    def to_rows(self) -> list[tuple[str, float, float, str]]:
+        """Flatten to (lane, start, end, label) rows for reporting."""
+        return [
+            (lane, s.start, s.end, s.label)
+            for lane in self.lanes()
+            for s in self._lanes[lane]
+        ]
+
+    def to_chrome_trace(self, *, time_unit: float = 1e-6) -> list[dict]:
+        """Export as Chrome ``chrome://tracing`` / Perfetto JSON events.
+
+        ``time_unit`` converts simulated seconds to trace microseconds
+        (default: seconds -> us). Load the JSON list under a
+        ``{"traceEvents": [...]}`` wrapper.
+        """
+        if time_unit <= 0:
+            raise ValueError("time_unit must be positive")
+        events = []
+        for pid, lane in enumerate(self.lanes()):
+            for s in self._lanes[lane]:
+                events.append(
+                    {
+                        "name": s.label or lane,
+                        "cat": "sim",
+                        "ph": "X",  # complete event
+                        "ts": s.start / time_unit,
+                        "dur": s.duration / time_unit,
+                        "pid": 0,
+                        "tid": pid,
+                        "args": {"lane": lane},
+                    }
+                )
+        return events

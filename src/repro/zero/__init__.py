@@ -1,0 +1,18 @@
+"""ZeRO-Inference: heterogeneous GPU+CPU+NVMe inference (Sec. VI)."""
+
+from .inference import ZeroInferenceEngine, ZeroPassReport
+from .streamed_model import StreamedTransformer
+from .streaming import StreamReport, simulate_layer_stream
+from .tiers import FetchEvent, Tier, TieredWeightStore, placement_for
+
+__all__ = [
+    "FetchEvent",
+    "StreamReport",
+    "StreamedTransformer",
+    "Tier",
+    "TieredWeightStore",
+    "ZeroInferenceEngine",
+    "ZeroPassReport",
+    "placement_for",
+    "simulate_layer_stream",
+]

@@ -1,0 +1,119 @@
+"""A runnable ZeRO-Inference transformer: layers streamed from a tier.
+
+This binds the functional pieces together as library code: a
+:class:`StreamedTransformer` keeps its layer weights in a
+:class:`~repro.zero.tiers.TieredWeightStore` (DRAM or NVMe), holds only a
+bounded window of layers "on GPU" at a time, and produces logits
+identical to the fully-resident reference. It also supports the
+*pin-weights-in-GPU* alternative Sec. VI-A discusses and rejects, so the
+tradeoff (pinned layers avoid fetches but shrink the batch budget) can
+be measured rather than asserted.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..hardware.topology import ClusterSpec
+from ..kernels.functional import layer_norm
+from ..model.dense import DenseTransformer
+from ..model.kvcache import KVCache
+from .tiers import Tier, TieredWeightStore
+
+__all__ = ["StreamedTransformer"]
+
+
+class StreamedTransformer:
+    """Layer-streaming executor around a functional dense model."""
+
+    def __init__(
+        self,
+        model: DenseTransformer,
+        cluster: ClusterSpec,
+        *,
+        tier: Tier = Tier.DRAM,
+        window: int = 2,
+        pinned_layers: int = 0,
+    ) -> None:
+        """``window`` bounds concurrently GPU-resident streamed layers
+        (prefetch_depth + 1 in the performance model); ``pinned_layers``
+        keeps the first k layers permanently resident (the rejected
+        design alternative)."""
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        num_layers = model.config.layers
+        if not 0 <= pinned_layers <= num_layers:
+            raise ValueError("pinned_layers out of range")
+        self.model = model
+        self.window = window
+        self.pinned = set(range(pinned_layers))
+        self.store = TieredWeightStore(cluster)
+        self._resident: list[int] = []  # streamed layers currently "on GPU"
+        self.fetches = 0
+        for i, lw in enumerate(model.layers):
+            blob = np.concatenate(
+                [getattr(lw, f).ravel() for f in lw.__dataclass_fields__]
+            )
+            self.store.put(i, blob, Tier.GPU if i in self.pinned else tier)
+
+    # -- residency management ------------------------------------------------
+
+    def _ensure_resident(self, layer: int) -> None:
+        """Fetch ``layer`` into the window, evicting FIFO when full."""
+        if layer in self.pinned or layer in self._resident:
+            return
+        data = self.store.fetch(layer)
+        expected = self.model.layers[layer].num_params
+        if data.size != expected:
+            raise RuntimeError(
+                f"layer {layer} fetched {data.size} params, expected {expected}"
+            )
+        self.fetches += 1
+        self._resident.append(layer)
+        while len(self._resident) > self.window:
+            self._resident.pop(0)
+
+    @property
+    def resident_layers(self) -> list[int]:
+        """Streamed layers currently held (pinned layers excluded)."""
+        return list(self._resident)
+
+    # -- execution -------------------------------------------------------
+
+    def forward(self, token_ids: np.ndarray, cache: KVCache | None = None) -> np.ndarray:
+        """Logits, computed layer by layer under the residency window."""
+        token_ids = np.atleast_2d(token_ids)
+        pos0 = cache.seq_len(0) if cache is not None else 0
+        x = self.model.wte[token_ids] + self.model.wpe[
+            pos0 : pos0 + token_ids.shape[1]
+        ]
+        for i, lw in enumerate(self.model.layers):
+            self._ensure_resident(i)
+            x = self.model.attention_block(x, lw, i, cache)
+            x = self.model.mlp_block(x, lw, i)
+        x = layer_norm(x, self.model.lnf_g, self.model.lnf_b)
+        return x @ self.model.wte.T
+
+    def generate(self, prompt_ids: np.ndarray, num_tokens: int) -> np.ndarray:
+        """Greedy decoding under layer streaming."""
+        prompt_ids = np.atleast_2d(prompt_ids)
+        out = prompt_ids.copy()
+        cache = KVCache(self.model.config.layers)
+        step = prompt_ids
+        for _ in range(num_tokens):
+            logits = self.forward(step, cache)
+            nxt = logits[:, -1].argmax(axis=-1)[:, None]
+            out = np.concatenate([out, nxt], axis=1)
+            step = nxt
+        return out
+
+    # -- accounting ------------------------------------------------------
+
+    @property
+    def modeled_fetch_time(self) -> float:
+        """Total modeled PCIe/NVMe time spent on fetches so far."""
+        return self.store.total_fetch_time
+
+    def fetches_per_forward(self) -> int:
+        """Streamed (non-pinned) layers fetched by one forward pass."""
+        return self.model.config.layers - len(self.pinned)

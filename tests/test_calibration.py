@@ -1,0 +1,168 @@
+"""Calibration tests: pin the paper's headline factors end to end.
+
+These tests are the contract between the cost model's calibration
+constants (see repro/kernels/gemm.py and repro/kernels/profiles.py) and
+the paper's reported results. Each asserts a *shape* — who wins and by
+roughly what factor — with a tolerance band around the published number,
+so a change that silently de-calibrates the model fails loudly here.
+"""
+
+import pytest
+
+from repro.baselines import et_comparison
+from repro.engine import (
+    DenseLatencyModel,
+    MoEInferenceEngine,
+    Workload,
+)
+from repro.hardware import dgx2_v100, dgx_a100_cluster, lambda_a6000_workstation
+from repro.kernels import (
+    DEEPSPEED_FP16,
+    DEEPSPEED_INT8,
+    FASTER_TRANSFORMER_FP16,
+)
+from repro.model import DENSE_ZOO, MOE_ZOO, get_model
+from repro.zero import Tier, ZeroInferenceEngine
+
+CLUSTER = dgx_a100_cluster(4)
+WORKLOAD = Workload(batch=1, prompt_len=128, gen_tokens=8)
+
+FIG6_CONFIGS = [("gpt2-1.5b", 1), ("gpt-13b", 1), ("gpt-neox-20b", 2),
+                ("gpt-87b", 8)]
+
+
+def _latency(name, tp, profile):
+    model = DenseLatencyModel(DENSE_ZOO[name], CLUSTER, tp=tp, profile=profile)
+    return model.estimate(WORKLOAD).token_latency
+
+
+class TestDenseHeadlines:
+    """Sec. VII-B1: up to 1.55x FP16 and 1.95x INT8 over FT-FP16."""
+
+    @pytest.mark.parametrize("name,tp", FIG6_CONFIGS)
+    def test_fp16_speedup_band(self, name, tp):
+        s = _latency(name, tp, FASTER_TRANSFORMER_FP16) / _latency(
+            name, tp, DEEPSPEED_FP16)
+        assert 1.15 < s < 1.85, f"{name}: {s:.2f}"
+
+    @pytest.mark.parametrize("name,tp", FIG6_CONFIGS)
+    def test_int8_speedup_band(self, name, tp):
+        s = _latency(name, tp, FASTER_TRANSFORMER_FP16) / _latency(
+            name, tp, DEEPSPEED_INT8)
+        assert 1.5 < s < 2.45, f"{name}: {s:.2f}"
+
+    def test_largest_gain_on_smallest_model(self):
+        gains = {
+            name: _latency(name, tp, FASTER_TRANSFORMER_FP16)
+            / _latency(name, tp, DEEPSPEED_FP16)
+            for name, tp in FIG6_CONFIGS
+        }
+        assert gains["gpt2-1.5b"] == max(gains.values())
+
+
+class TestSparseHeadlines:
+    """Sec. VII-B2: up to 7.3x over PyTorch-MoE; 1T under 25 ms/token."""
+
+    def test_trillion_model_under_25ms(self):
+        eng = MoEInferenceEngine("24b-moe-128")
+        assert MOE_ZOO["24b-moe-128"].listed_params > 1e12
+        assert eng.token_latency() < 25e-3
+
+    def test_peak_moe_speedup_band(self):
+        speedups = []
+        for name in MOE_ZOO:
+            ds = MoEInferenceEngine(name, optimized=True).token_latency()
+            base = MoEInferenceEngine(name, optimized=False).token_latency()
+            speedups.append(base / ds)
+        assert 5.0 < max(speedups) < 7.5
+        assert min(speedups) > 2.0
+
+    def test_aggregate_bandwidth_fraction_at_scale(self):
+        """The 1T model is served at a meaningful fraction of the 256-GPU
+        aggregate bandwidth (paper: 33% of peak; we accept 20-60%)."""
+        eng = MoEInferenceEngine("24b-moe-128")
+        agg = eng.model.aggregate_bandwidth(batch=8)
+        peak = dgx_a100_cluster(32).aggregate_mem_bw
+        assert 0.20 < agg / peak < 0.60
+
+
+class TestThroughputHeadlines:
+    """Sec. VII-C: ~1.5x over FT for 175B and 530B generation."""
+
+    def test_175b_band(self):
+        from repro.bench.figures import fig8_throughput
+
+        rows = {r["model"]: r for r in fig8_throughput().rows}
+        assert 1.2 < rows["lm-175b"]["speedup"] < 2.2
+        assert 1.2 < rows["lm-530b"]["speedup"] < 2.2
+
+
+class TestZeroInferenceHeadlines:
+    """Sec. VII-D: 25x model scale, ~54% of peak, linear multi-GPU."""
+
+    def test_25x_model_scale(self):
+        ws = lambda_a6000_workstation(1)
+        # GPU-only ceiling ~20B; ZeRO-Inference runs 530B.
+        from repro.baselines import GPUOnlyBaseline
+
+        assert GPUOnlyBaseline(get_model("gpt-neox-20b"), ws).fits()
+        assert not GPUOnlyBaseline(get_model("gpt-50b"), ws).fits()
+        eng = ZeroInferenceEngine(get_model("lm-530b"), ws)
+        assert eng.placement is Tier.NVME
+        assert eng.max_batch_pass(seq_len=512).time > 0
+        ratio = get_model("lm-530b").total_params / get_model(
+            "gpt-neox-20b").total_params
+        assert ratio > 25
+
+    def test_half_peak_tflops_on_a6000(self):
+        ws = lambda_a6000_workstation(1)
+        eng = ZeroInferenceEngine(get_model("gpt-87b"), ws)
+        rep = eng.max_batch_pass(seq_len=2048)
+        assert rep.tflops_per_gpu == pytest.approx(84, rel=0.12)
+
+    def test_cpu_only_gap_exceeds_25x(self):
+        from repro.baselines import CPUOnlyBaseline
+
+        ws = lambda_a6000_workstation(1)
+        cfg = get_model("gpt-neox-20b")
+        cpu = CPUOnlyBaseline(cfg, ws).tflops(batch=8, seq_len=2048)
+        zero = ZeroInferenceEngine(cfg, ws).max_batch_pass(
+            seq_len=2048).tflops_per_gpu
+        assert zero / cpu > 25
+
+    def test_v100_scaling(self):
+        cfg = get_model("gpt-50b")
+        cluster = dgx2_v100(16)
+        per_gpu = [
+            ZeroInferenceEngine(cfg, cluster, num_gpus=n).max_batch_pass()
+            .tflops_per_gpu
+            for n in (1, 16)
+        ]
+        # Per-GPU efficiency holds steady from 1 to 16 GPUs.
+        assert per_gpu[1] == pytest.approx(per_gpu[0], rel=0.10)
+
+
+class TestKernelHeadlines:
+    """Sec. VII-E: kernel ablations and the E.T. comparison."""
+
+    def test_et_bands(self):
+        rows = et_comparison()
+        assert 1.5 < rows["distilbert"]["speedup"] < 2.3  # paper 1.7x
+        assert 1.2 < rows["bert-large"]["speedup"] < 1.8  # paper 1.4x
+
+    def test_moe_kernel_6x(self):
+        """Sec. V-C: ~6x reduction in MoE kernel-related latency."""
+        ds = MoEInferenceEngine("8b-moe-128", optimized=True)
+        base = MoEInferenceEngine("8b-moe-128", optimized=False)
+        factor = (base.step_breakdown().moe_kernel_time
+                  / ds.step_breakdown().moe_kernel_time)
+        # Paper: "over 6x"; eager-dispatch pile-up makes it much larger at
+        # tiny decode batches.
+        assert factor > 6.0
+
+    def test_hybrid_schedule_bands(self):
+        from repro.bench.figures import fig13_hybrid_prompt
+
+        rows = {r["config"]: r for r in fig13_hybrid_prompt().rows}
+        assert 1.05 < rows["PP+MP (tp8 x pp2)"]["speedup"] < 1.6  # paper 1.18
+        assert 2.2 < rows["MP-only (tp16)"]["speedup"] < 3.8  # paper 3.06

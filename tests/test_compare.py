@@ -1,0 +1,106 @@
+"""Tests for the result-archive comparison tool."""
+
+import json
+
+import pytest
+
+from repro.bench.compare import Delta, compare_results, format_deltas, load_archive
+
+
+def archive(rows_a, rows_b=None):
+    return {
+        "t": {
+            "exp_id": "t",
+            "title": "T",
+            "columns": ["model", "x", "y"],
+            "rows": rows_a,
+            "notes": [],
+        }
+    }
+
+
+class TestCompare:
+    def test_no_change(self):
+        a = archive([{"model": "m", "x": 1.0, "y": 2.0}])
+        assert compare_results(a, a) == []
+
+    def test_detects_moved_cell(self):
+        before = archive([{"model": "m", "x": 1.0, "y": 2.0}])
+        after = archive([{"model": "m", "x": 1.0, "y": 2.5}])
+        deltas = compare_results(before, after)
+        assert len(deltas) == 1
+        d = deltas[0]
+        assert (d.column, d.before, d.after) == ("y", 2.0, 2.5)
+        assert d.rel_change == pytest.approx(0.25)
+
+    def test_threshold_filters_noise(self):
+        before = archive([{"model": "m", "x": 100.0, "y": 2.0}])
+        after = archive([{"model": "m", "x": 100.5, "y": 2.0}])
+        assert compare_results(before, after, threshold=0.02) == []
+        assert len(compare_results(before, after, threshold=0.001)) == 1
+
+    def test_new_row_reported(self):
+        before = archive([{"model": "m", "x": 1.0, "y": 1.0}])
+        after = archive([
+            {"model": "m", "x": 1.0, "y": 1.0},
+            {"model": "n", "x": 3.0, "y": 4.0},
+        ])
+        deltas = compare_results(before, after)
+        assert {d.column for d in deltas} == {"x", "y"}
+        assert all("model=n" in d.row_key for d in deltas)
+
+    def test_rows_matched_by_identity_not_order(self):
+        before = archive([
+            {"model": "a", "x": 1.0, "y": 1.0},
+            {"model": "b", "x": 2.0, "y": 2.0},
+        ])
+        after = archive([
+            {"model": "b", "x": 2.0, "y": 2.0},
+            {"model": "a", "x": 1.0, "y": 1.0},
+        ])
+        assert compare_results(before, after) == []
+
+    def test_booleans_ignored(self):
+        before = archive([{"model": "m", "x": True, "y": 1.0}])
+        after = archive([{"model": "m", "x": False, "y": 1.0}])
+        assert compare_results(before, after) == []
+
+    def test_format(self):
+        d = Delta("t", "model=m", "y", 2.0, 3.0)
+        out = format_deltas([d])
+        assert "y" in out and "+50.0%" in out
+        assert format_deltas([]) == "no significant changes"
+
+    def test_zero_baseline(self):
+        d = Delta("t", "k", "c", 0.0, 5.0)
+        assert d.rel_change == float("inf")
+        assert Delta("t", "k", "c", 0.0, 0.0).rel_change == 0.0
+
+    def test_load_archive_roundtrip(self, tmp_path):
+        from repro.bench import run
+
+        results = run(["table2"])
+        path = tmp_path / "a.json"
+        path.write_text(json.dumps([r.to_json_dict() for r in results]))
+        loaded = load_archive(path)
+        assert "table2" in loaded
+        assert compare_results(loaded, loaded) == []
+
+    def test_end_to_end_detects_calibration_move(self, tmp_path):
+        """Archive fig12, perturb one number, diff catches it."""
+        from repro.bench import run
+
+        results = [r.to_json_dict() for r in run(["fig12"])]
+        before = {r["exp_id"]: r for r in results}
+        after = json.loads(json.dumps(results))
+        after[0]["rows"][0]["speedup"] *= 1.3
+        deltas = compare_results(before, {r["exp_id"]: r for r in after})
+        assert any(d.column == "speedup" for d in deltas)
+
+    def test_validation(self, tmp_path):
+        p = tmp_path / "bad.json"
+        p.write_text('{"not": "a list"}')
+        with pytest.raises(ValueError):
+            load_archive(p)
+        with pytest.raises(ValueError):
+            compare_results({}, {}, threshold=-1)

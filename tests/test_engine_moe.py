@@ -1,0 +1,101 @@
+"""Tests for the MoE latency model (Sec. V mechanisms)."""
+
+import pytest
+
+from repro.engine import MoEInferenceEngine, MoELatencyModel
+from repro.hardware import dgx_a100_cluster
+from repro.model import MOE_PARALLELISM, MOE_ZOO
+
+CLUSTER = dgx_a100_cluster(32)  # 256 GPUs
+
+
+def mk(name, optimized=True):
+    return MoELatencyModel(MOE_ZOO[name], CLUSTER, MOE_PARALLELISM[name],
+                           optimized=optimized)
+
+
+class TestBreakdown:
+    def test_components_positive_and_sum(self):
+        b = mk("24b-moe-128").token_step(batch=8)
+        parts = [b.dense_time, b.gating_time, b.expert_time,
+                 b.alltoall_time, b.allreduce_time]
+        assert all(p >= 0 for p in parts)
+        assert b.total == pytest.approx(sum(parts))
+
+    def test_gating_optimization_factor(self):
+        """Sec. V-C claims ~6x lower MoE kernel latency."""
+        opt = mk("24b-moe-128").token_step(batch=8)
+        base = mk("24b-moe-128", optimized=False).token_step(batch=8)
+        factor = base.moe_kernel_time / opt.moe_kernel_time
+        assert factor > 4.0
+
+    def test_pcc_shrinks_alltoall(self):
+        opt = mk("24b-moe-128").token_step(batch=8)
+        base = mk("24b-moe-128", optimized=False).token_step(batch=8)
+        assert opt.alltoall_time < base.alltoall_time / 3
+
+    def test_expert_slicing_speeds_experts(self):
+        # 24b-moe uses expert-slicing 2; the baseline cannot use it.
+        opt = mk("24b-moe-128").token_step(batch=8)
+        base = mk("24b-moe-128", optimized=False).token_step(batch=8)
+        assert opt.expert_time < base.expert_time
+
+    def test_batch_validation(self):
+        with pytest.raises(ValueError):
+            mk("1.3b-moe-128").token_step(batch=0)
+
+    def test_non_moe_model_rejected(self):
+        from repro.model import DENSE_ZOO
+
+        with pytest.raises(ValueError, match="not an MoE"):
+            MoELatencyModel(DENSE_ZOO["gpt-13b"], CLUSTER,
+                            MOE_PARALLELISM["1.3b-moe-128"])
+
+    def test_cluster_too_small_rejected(self):
+        small = dgx_a100_cluster(2)
+        with pytest.raises(ValueError, match="GPUs"):
+            MoELatencyModel(MOE_ZOO["24b-moe-128"], small,
+                            MOE_PARALLELISM["24b-moe-128"])
+
+
+class TestLatencyShape:
+    @pytest.mark.parametrize("name", list(MOE_ZOO))
+    def test_optimized_beats_baseline(self, name):
+        opt = mk(name).token_latency(batch=8)
+        base = mk(name, optimized=False).token_latency(batch=8)
+        assert base / opt > 2.0
+
+    def test_latency_grows_with_model_size(self):
+        a = mk("1.3b-moe-128").token_latency(batch=8)
+        b = mk("47b-moe-128").token_latency(batch=8)
+        assert b > a
+
+    def test_bandwidth_metric_higher_when_optimized(self):
+        opt = mk("1.3b-moe-128").effective_bandwidth_per_gpu(batch=8)
+        base = mk("1.3b-moe-128", optimized=False).effective_bandwidth_per_gpu(8)
+        assert opt > 2 * base
+        assert opt < CLUSTER.gpu.mem_bw  # never above peak
+
+    def test_aggregate_bandwidth_scales_with_gpus(self):
+        m = mk("24b-moe-128")
+        assert m.aggregate_bandwidth(batch=8) == pytest.approx(
+            m.effective_bandwidth_per_gpu(8) * 256
+        )
+
+
+class TestFacade:
+    def test_engine_defaults_to_table2(self):
+        eng = MoEInferenceEngine("24b-moe-128")
+        assert eng.parallelism.num_gpus == 256
+        assert eng.token_latency() > 0
+
+    def test_throughput_per_gpu(self):
+        eng = MoEInferenceEngine("1.3b-moe-128")
+        tput = eng.throughput_per_gpu(batch=8)
+        assert tput == pytest.approx(
+            8 / eng.token_latency(batch=8) / 128
+        )
+
+    def test_dense_model_rejected(self):
+        with pytest.raises(ValueError):
+            MoEInferenceEngine("gpt-13b")

@@ -1,0 +1,184 @@
+"""Tests for gating and the two MoE dispatch formulations (Sec. V-C)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.model import (
+    DenseTransformer,
+    MoELayer,
+    ModelConfig,
+    MoESpec,
+    build_expert_to_token_table,
+    expert_capacity,
+    top1_gating,
+)
+
+RNG = np.random.default_rng(11)
+
+
+class TestCapacity:
+    def test_ceil_formula(self):
+        assert expert_capacity(16, 4, 1.0) == 4
+        assert expert_capacity(17, 4, 1.0) == 5
+        assert expert_capacity(2, 8, 1.0) == 1
+
+    def test_factor_scales(self):
+        assert expert_capacity(16, 4, 2.0) == 8
+        assert expert_capacity(16, 4, 0.5) == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            expert_capacity(0, 4, 1.0)
+        with pytest.raises(ValueError):
+            expert_capacity(4, 4, 0.0)
+
+
+class TestTop1Gating:
+    def test_argmax_routing_without_pressure(self):
+        logits = np.zeros((4, 4))
+        logits[np.arange(4), [2, 0, 3, 1]] = 10.0
+        g = top1_gating(logits, capacity_factor=1.0)
+        np.testing.assert_array_equal(g.token_expert, [2, 0, 3, 1])
+        assert not g.dropped.any()
+        assert (g.token_slot == 0).all()
+
+    def test_capacity_drops_in_token_order(self):
+        # All 6 tokens want expert 0; capacity = ceil(6/3)=2 keeps first 2.
+        logits = np.zeros((6, 3))
+        logits[:, 0] = 5.0
+        g = top1_gating(logits)
+        np.testing.assert_array_equal(g.token_expert[:2], [0, 0])
+        np.testing.assert_array_equal(g.token_slot[:2], [0, 1])
+        assert (g.token_expert[2:] == -1).all()
+
+    def test_gate_prob_is_softmax_of_chosen(self):
+        logits = RNG.normal(size=(5, 4))
+        g = top1_gating(logits)
+        p = np.exp(logits) / np.exp(logits).sum(-1, keepdims=True)
+        np.testing.assert_allclose(g.gate_prob, p.max(-1), atol=1e-12)
+
+    def test_one_hot_dispatch_shape_and_mass(self):
+        logits = RNG.normal(size=(8, 4))
+        g = top1_gating(logits)
+        oh = g.one_hot_dispatch()
+        assert oh.shape == (8, 4, g.capacity)
+        kept = (~g.dropped).sum()
+        assert oh.sum() == kept
+
+    def test_expert_to_token_inverse(self):
+        logits = RNG.normal(size=(32, 8))
+        g = top1_gating(logits)
+        tables = build_expert_to_token_table(g)
+        for ex, toks in enumerate(tables):
+            assert (g.token_expert[toks] == ex).all()
+            # slot order within each expert
+            assert (np.diff(g.token_slot[toks]) > 0).all() or toks.size <= 1
+        flat = np.concatenate([t for t in tables]) if tables else np.array([])
+        assert len(flat) == (~g.dropped).sum()
+
+    def test_2d_required(self):
+        with pytest.raises(ValueError):
+            top1_gating(np.zeros(4))
+
+
+class TestMoELayerEquivalence:
+    """Dense-table dispatch == sparse one-hot einsum dispatch, exactly."""
+
+    @pytest.mark.parametrize("tokens,experts", [(16, 4), (7, 3), (64, 8), (4, 8)])
+    def test_formulations_agree(self, tokens, experts):
+        layer = MoELayer(hidden=16, num_experts=experts, seed=3)
+        x = RNG.normal(size=(tokens, 16))
+        np.testing.assert_allclose(
+            layer.forward_dense_table(x),
+            layer.forward_sparse_einsum(x),
+            atol=1e-12,
+        )
+
+    def test_3d_input_roundtrip(self):
+        layer = MoELayer(hidden=8, num_experts=4, seed=2)
+        x = RNG.normal(size=(2, 5, 8))
+        out = layer.forward_dense_table(x)
+        assert out.shape == x.shape
+        np.testing.assert_allclose(
+            out, layer.forward_sparse_einsum(x), atol=1e-12
+        )
+
+    def test_dropped_tokens_output_zero(self):
+        layer = MoELayer(hidden=8, num_experts=4, capacity_factor=0.25, seed=2)
+        x = RNG.normal(size=(16, 8))
+        g = layer.route(x)
+        assert g.dropped.any()  # tight capacity must drop something
+        out = layer.forward_dense_table(x)
+        np.testing.assert_array_equal(out[g.dropped], 0.0)
+
+    def test_expert_ffn_bounds(self):
+        layer = MoELayer(hidden=8, num_experts=2)
+        with pytest.raises(IndexError):
+            layer.expert_ffn(2, np.zeros((1, 8)))
+
+    def test_construction_validation(self):
+        with pytest.raises(ValueError):
+            MoELayer(hidden=0, num_experts=2)
+        with pytest.raises(ValueError):
+            MoELayer(hidden=8, num_experts=0)
+
+    def test_bad_input_rank(self):
+        layer = MoELayer(hidden=8, num_experts=2)
+        with pytest.raises(ValueError):
+            layer.forward_dense_table(np.zeros(8))
+
+
+class TestMoEInsideTransformer:
+    def test_moe_transformer_runs_and_is_causal(self):
+        cfg = ModelConfig(name="tiny-moe", hidden=16, layers=4, heads=2,
+                          vocab=31, max_seq=32, moe=MoESpec(num_experts=4))
+        base = DenseTransformer(cfg, seed=0)
+        moe_blocks = {
+            i: MoELayer(cfg.hidden, 4, capacity_factor=2.0, seed=10 + i)
+            for i in range(0, cfg.layers, cfg.moe.every)
+        }
+        model = DenseTransformer(cfg, seed=0, moe_layers=moe_blocks)
+        ids = np.array([[1, 2, 3, 4]])
+        logits = model.forward(ids)
+        assert logits.shape == (1, 4, 31)
+        # differs from pure-dense model
+        assert not np.allclose(logits, base.forward(ids))
+        # causality preserved through MoE routing
+        other = model.forward(np.array([[1, 2, 3, 29]]))
+        np.testing.assert_allclose(logits[0, :3], other[0, :3], atol=1e-12)
+
+
+@given(
+    tokens=st.integers(min_value=1, max_value=40),
+    experts=st.integers(min_value=1, max_value=8),
+    factor=st.sampled_from([0.5, 1.0, 2.0]),
+)
+@settings(max_examples=40, deadline=None)
+def test_gating_invariants(tokens, experts, factor):
+    """Properties: no expert over capacity; slots unique per expert;
+    kept tokens have valid slots; dropped tokens have -1 everywhere."""
+    logits = np.random.default_rng(tokens * 100 + experts).normal(
+        size=(tokens, experts)
+    )
+    g = top1_gating(logits, capacity_factor=factor)
+    for ex in range(experts):
+        slots = g.token_slot[g.token_expert == ex]
+        assert len(slots) <= g.capacity
+        assert len(np.unique(slots)) == len(slots)
+        assert (slots >= 0).all() and (slots < g.capacity).all()
+    assert (g.token_slot[g.dropped] == -1).all()
+
+
+@given(
+    tokens=st.integers(min_value=1, max_value=24),
+    experts=st.sampled_from([2, 4]),
+)
+@settings(max_examples=20, deadline=None)
+def test_dispatch_equivalence_property(tokens, experts):
+    """Property: both dispatch formulations agree for arbitrary shapes."""
+    layer = MoELayer(hidden=8, num_experts=experts, seed=tokens)
+    x = np.random.default_rng(tokens).normal(size=(tokens, 8))
+    np.testing.assert_allclose(
+        layer.forward_dense_table(x), layer.forward_sparse_einsum(x), atol=1e-12
+    )

@@ -1,0 +1,148 @@
+"""Tests for the paged KV cache and its block allocator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.model import DenseTransformer, KVCache, ModelConfig
+from repro.model.paged_kv import BlockAllocator, OutOfBlocks, PagedKVCache
+
+CFG = ModelConfig(name="paged-test", hidden=32, layers=3, heads=4, vocab=53,
+                  max_seq=64)
+
+
+class TestBlockAllocator:
+    def test_alloc_free_roundtrip(self):
+        a = BlockAllocator(4)
+        blocks = [a.alloc() for _ in range(4)]
+        assert sorted(blocks) == [0, 1, 2, 3]
+        assert a.free_blocks == 0
+        for b in blocks:
+            a.free(b)
+        assert a.free_blocks == 4
+
+    def test_exhaustion_raises(self):
+        a = BlockAllocator(1)
+        a.alloc()
+        with pytest.raises(OutOfBlocks):
+            a.alloc()
+
+    def test_double_free_detected(self):
+        a = BlockAllocator(2)
+        b = a.alloc()
+        a.free(b)
+        with pytest.raises(ValueError, match="double free"):
+            a.free(b)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BlockAllocator(0)
+        with pytest.raises(ValueError):
+            BlockAllocator(2).free(5)
+
+
+class TestPagedCacheSemantics:
+    def test_append_get_roundtrip_across_blocks(self):
+        a = BlockAllocator(32)
+        c = PagedKVCache(1, a, block_size=4)
+        rng = np.random.default_rng(3)
+        chunks = [rng.normal(size=(2, 2, n, 8)) for n in (3, 4, 6, 1)]
+        want_k = np.concatenate(chunks, axis=2)
+        for ch in chunks:
+            c.append(0, ch, ch * 2)
+        got_k, got_v = c.get(0)
+        np.testing.assert_allclose(got_k, want_k, atol=0)
+        np.testing.assert_allclose(got_v, want_k * 2, atol=0)
+        assert c.seq_len(0) == 14
+        assert c.blocks_held == 4  # ceil(14/4)
+
+    def test_decoding_exact_vs_contiguous_cache(self):
+        """Any decoder runs unchanged on the paged cache."""
+        model = DenseTransformer(CFG, seed=41)
+        ids = np.array([[3, 1, 4, 1, 5, 9]])
+        plain = KVCache(CFG.layers)
+        paged = PagedKVCache(CFG.layers, BlockAllocator(256), block_size=4)
+        outs_plain, outs_paged = [], []
+        for t in range(ids.shape[1]):
+            outs_plain.append(model.forward(ids[:, t : t + 1], plain))
+            outs_paged.append(model.forward(ids[:, t : t + 1], paged))
+        np.testing.assert_allclose(
+            np.concatenate(outs_paged, axis=1),
+            np.concatenate(outs_plain, axis=1),
+            atol=1e-12,
+        )
+
+    def test_blocks_grow_with_tokens_not_worst_case(self):
+        a = BlockAllocator(64)
+        c = PagedKVCache(2, a, block_size=8)
+        x = np.ones((1, 2, 1, 4))
+        c.append(0, x, x)
+        c.append(1, x, x)
+        assert c.blocks_held == 2  # one block per layer, not max_seq worth
+
+    def test_free_returns_blocks_for_reuse(self):
+        a = BlockAllocator(4)
+        c1 = PagedKVCache(1, a, block_size=2)
+        x = np.ones((1, 1, 4, 4))
+        c1.append(0, x, x)
+        assert a.used_blocks == 2
+        c1.free()
+        assert a.used_blocks == 0
+        # A new sequence can take the same blocks.
+        c2 = PagedKVCache(1, a, block_size=2)
+        c2.append(0, x, x)
+        assert a.used_blocks == 2
+
+    def test_pool_exhaustion_is_diagnosable(self):
+        a = BlockAllocator(2)
+        c = PagedKVCache(1, a, block_size=1)
+        x = np.ones((1, 1, 2, 4))
+        c.append(0, x, x)
+        with pytest.raises(OutOfBlocks, match="in use"):
+            c.append(0, x, x)
+
+    def test_freed_cache_rejects_use(self):
+        c = PagedKVCache(1, BlockAllocator(4))
+        c.free()
+        with pytest.raises(RuntimeError, match="freed"):
+            c.seq_len(0)
+        c.free()  # idempotent
+
+    def test_shape_mismatch_rejected(self):
+        c = PagedKVCache(1, BlockAllocator(8), block_size=2)
+        c.append(0, np.ones((1, 2, 1, 4)), np.ones((1, 2, 1, 4)))
+        with pytest.raises(ValueError, match="mismatch"):
+            c.append(0, np.ones((2, 2, 1, 4)), np.ones((2, 2, 1, 4)))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PagedKVCache(0, BlockAllocator(1))
+        with pytest.raises(ValueError):
+            PagedKVCache(1, BlockAllocator(1), block_size=0)
+        c = PagedKVCache(1, BlockAllocator(1))
+        with pytest.raises(IndexError):
+            c.get(3)
+
+
+@given(
+    chunk_lens=st.lists(st.integers(min_value=1, max_value=7), min_size=1,
+                        max_size=8),
+    block_size=st.integers(min_value=1, max_value=8),
+)
+@settings(max_examples=40, deadline=None)
+def test_paged_roundtrip_property(chunk_lens, block_size):
+    """Property: any append pattern gathers back exactly, and block usage
+    is ceil(total / block_size)."""
+    total = sum(chunk_lens)
+    alloc = BlockAllocator(64)
+    c = PagedKVCache(1, alloc, block_size=block_size)
+    rng = np.random.default_rng(total)
+    chunks = [rng.normal(size=(1, 1, n, 2)) for n in chunk_lens]
+    for ch in chunks:
+        c.append(0, ch, -ch)
+    k, v = c.get(0)
+    np.testing.assert_array_equal(k, np.concatenate(chunks, axis=2))
+    np.testing.assert_array_equal(v, -k)
+    assert c.blocks_held == -(-total // block_size)
+    c.free()
+    assert alloc.used_blocks == 0

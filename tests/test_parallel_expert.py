@@ -1,0 +1,94 @@
+"""Tests: expert-parallel MoE equals the single-process MoE layer."""
+
+import numpy as np
+import pytest
+
+from repro.comm import spmd
+from repro.model import MoELayer
+from repro.parallel import ep_moe_forward, expert_partition
+
+RNG = np.random.default_rng(21)
+
+
+class TestExpertPartition:
+    def test_contiguous_cover(self):
+        parts = expert_partition(8, 4)
+        assert [list(p) for p in parts] == [[0, 1], [2, 3], [4, 5], [6, 7]]
+
+    def test_single_rank(self):
+        assert list(expert_partition(4, 1)[0]) == [0, 1, 2, 3]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            expert_partition(6, 4)
+        with pytest.raises(ValueError):
+            expert_partition(4, 0)
+
+
+class TestEPEquivalence:
+    @pytest.mark.parametrize("ep", [1, 2, 4])
+    def test_matches_local_layer(self, ep):
+        layer = MoELayer(hidden=16, num_experts=8, capacity_factor=2.0, seed=5)
+        per_rank_tokens = 12
+        xs = [RNG.normal(size=(per_rank_tokens, 16)) for _ in range(ep)]
+        ref = [layer.forward_dense_table(x) for x in xs]
+
+        def prog(comm):
+            return ep_moe_forward(comm, layer, xs[comm.rank])
+
+        results = spmd(ep, prog)
+        for got, want in zip(results, ref):
+            np.testing.assert_allclose(got, want, atol=1e-12)
+
+    def test_3d_activation_shape(self):
+        layer = MoELayer(hidden=8, num_experts=4, seed=1)
+        x = RNG.normal(size=(2, 3, 8))
+
+        def prog(comm):
+            return ep_moe_forward(comm, layer, x)
+
+        results = spmd(2, prog)
+        assert results[0].shape == (2, 3, 8)
+        np.testing.assert_allclose(
+            results[0], layer.forward_dense_table(x), atol=1e-12
+        )
+
+    def test_skewed_routing_all_to_one_rank(self):
+        """All tokens favor experts on rank 1: rank 0 receives nothing."""
+        layer = MoELayer(hidden=8, num_experts=4, capacity_factor=4.0, seed=2)
+        # Force gate toward expert 3 by biasing the gate weight.
+        layer.w_gate[:, :] = 0.0
+        layer.w_gate[:, 3] = 1.0
+        x = np.abs(RNG.normal(size=(6, 8)))  # positive => positive logits
+
+        def prog(comm):
+            return ep_moe_forward(comm, layer, x)
+
+        results = spmd(2, prog)
+        np.testing.assert_allclose(
+            results[0], layer.forward_dense_table(x), atol=1e-12
+        )
+
+    def test_capacity_drops_preserved(self):
+        layer = MoELayer(hidden=8, num_experts=4, capacity_factor=0.25, seed=7)
+        x = RNG.normal(size=(16, 8))
+        g = layer.route(x)
+        assert g.dropped.any()
+
+        def prog(comm):
+            return ep_moe_forward(comm, layer, x)
+
+        results = spmd(2, prog)
+        np.testing.assert_allclose(
+            results[0], layer.forward_dense_table(x), atol=1e-12
+        )
+        np.testing.assert_array_equal(results[0][g.dropped], 0.0)
+
+    def test_experts_must_divide(self):
+        layer = MoELayer(hidden=8, num_experts=6, seed=1)
+
+        def prog(comm):
+            return ep_moe_forward(comm, layer, RNG.normal(size=(4, 8)))
+
+        with pytest.raises(RuntimeError):
+            spmd(4, prog)

@@ -1,0 +1,97 @@
+"""Tests: ragged batched decoding equals solo decoding exactly."""
+
+import numpy as np
+import pytest
+
+from repro.model import DenseTransformer, ModelConfig
+from repro.model.ragged import RaggedDecoder
+
+LEARNED = ModelConfig(name="rag-l", hidden=32, layers=3, heads=4, vocab=67,
+                      max_seq=40)
+ROTARY = ModelConfig(name="rag-r", hidden=32, layers=3, heads=4, vocab=67,
+                     max_seq=40, pos_encoding="rotary")
+
+
+@pytest.fixture(scope="module", params=["learned", "rotary"])
+def model(request):
+    cfg = LEARNED if request.param == "learned" else ROTARY
+    return DenseTransformer(cfg, seed=37)
+
+
+PROMPTS = [
+    np.array([3, 1, 4, 1, 5]),
+    np.array([9]),
+    np.array([2, 6]),
+    np.array([5, 3, 5, 8]),
+]
+
+
+class TestRaggedEquivalence:
+    def test_prefill_logits_match_solo(self, model):
+        dec = RaggedDecoder(model)
+        logits = dec.prefill(PROMPTS)
+        for i, p in enumerate(PROMPTS):
+            solo = model.forward(p[None, :])[0, -1]
+            np.testing.assert_allclose(logits[i], solo, atol=1e-10)
+
+    def test_generate_matches_solo_generate(self, model):
+        dec = RaggedDecoder(model)
+        outs = dec.generate(PROMPTS, 6)
+        for out, p in zip(outs, PROMPTS):
+            solo = model.generate(p[None, :], 6)[0]
+            np.testing.assert_array_equal(out, solo)
+
+    def test_step_by_step_matches(self, model):
+        dec = RaggedDecoder(model)
+        logits = dec.prefill(PROMPTS)
+        toks = logits.argmax(-1)
+        logits2 = dec.step(toks)
+        for i, p in enumerate(PROMPTS):
+            seq = np.concatenate([p, [toks[i]]])
+            solo = model.forward(seq[None, :])[0, -1]
+            np.testing.assert_allclose(logits2[i], solo, atol=1e-10)
+
+    def test_equal_length_prompts_also_work(self, model):
+        prompts = [np.array([1, 2, 3]), np.array([4, 5, 6])]
+        outs = RaggedDecoder(model).generate(prompts, 3)
+        for out, p in zip(outs, prompts):
+            np.testing.assert_array_equal(out, model.generate(p[None, :], 3)[0])
+
+    def test_single_row(self, model):
+        outs = RaggedDecoder(model).generate([np.array([7, 7])], 4)
+        np.testing.assert_array_equal(
+            outs[0], model.generate(np.array([[7, 7]]), 4)[0]
+        )
+
+
+class TestRaggedValidation:
+    def test_double_prefill_rejected(self, model):
+        dec = RaggedDecoder(model)
+        dec.prefill([np.array([1])])
+        with pytest.raises(RuntimeError, match="once"):
+            dec.prefill([np.array([1])])
+
+    def test_step_before_prefill(self, model):
+        with pytest.raises(RuntimeError, match="prefill"):
+            RaggedDecoder(model).step(np.array([1]))
+
+    def test_wrong_token_count(self, model):
+        dec = RaggedDecoder(model)
+        dec.prefill([np.array([1]), np.array([2])])
+        with pytest.raises(ValueError, match="expected 2"):
+            dec.step(np.array([1]))
+
+    def test_empty_inputs(self, model):
+        with pytest.raises(ValueError):
+            RaggedDecoder(model).prefill([])
+        with pytest.raises(ValueError):
+            RaggedDecoder(model).prefill([np.array([])])
+        with pytest.raises(ValueError):
+            RaggedDecoder(model).generate([np.array([1])], 0)
+
+    def test_max_seq_enforced(self, model):
+        dec = RaggedDecoder(model)
+        long = np.ones(model.config.max_seq, dtype=int)
+        dec.prefill([long])
+        with pytest.raises(ValueError, match="max_seq"):
+            dec.step(np.array([1]))

@@ -1,0 +1,155 @@
+"""Tests for the serving-level simulator (arrivals, queueing, percentiles)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.engine import (
+    DenseLatencyModel,
+    Request,
+    WorkloadTrace,
+    serving_step_times,
+    simulate_serving,
+    synthesize_trace,
+)
+from repro.hardware import dgx_a100_cluster
+from repro.model import DENSE_ZOO
+
+
+def unit_costs(prompt_cost=1.0, step_cost=0.1):
+    return (lambda batch, plen: prompt_cost, lambda batch: step_cost)
+
+
+class TestTraceSynthesis:
+    def test_reproducible(self):
+        a = synthesize_trace(num_requests=20, arrival_rate=2.0, seed=7)
+        b = synthesize_trace(num_requests=20, arrival_rate=2.0, seed=7)
+        assert a == b
+
+    def test_rate_controls_density(self):
+        slow = synthesize_trace(num_requests=200, arrival_rate=1.0, seed=1)
+        fast = synthesize_trace(num_requests=200, arrival_rate=10.0, seed=1)
+        assert fast.duration < slow.duration
+
+    def test_sorted_arrivals_and_positive_lengths(self):
+        t = synthesize_trace(num_requests=50, arrival_rate=5.0, seed=3)
+        arrivals = [r.arrival for r in t.requests]
+        assert arrivals == sorted(arrivals)
+        assert all(r.prompt_len >= 1 and r.gen_tokens >= 1 for r in t.requests)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            synthesize_trace(num_requests=0, arrival_rate=1.0)
+        with pytest.raises(ValueError):
+            synthesize_trace(num_requests=1, arrival_rate=0.0)
+        with pytest.raises(ValueError):
+            Request(0, -1.0, 4, 4)
+        with pytest.raises(ValueError):
+            WorkloadTrace(())
+        with pytest.raises(ValueError):
+            WorkloadTrace((Request(0, 5.0, 1, 1), Request(1, 1.0, 1, 1)))
+
+
+class TestServingSimulator:
+    def test_single_request_latency(self):
+        trace = WorkloadTrace((Request(0, 0.0, 16, 4),))
+        prompt_t, step_t = unit_costs(prompt_cost=2.0, step_cost=0.5)
+        rep = simulate_serving(trace, prompt_time=prompt_t, step_time=step_t,
+                               max_batch=4)
+        # prompt (2.0, yields token 1) + 3 decode steps (1.5)
+        assert rep.latency(trace.requests[0]) == pytest.approx(3.5)
+        assert rep.first_token_times[0] == pytest.approx(2.0)
+        assert rep.total_tokens == 4
+
+    def test_idle_server_waits_for_arrival(self):
+        trace = WorkloadTrace((Request(0, 10.0, 8, 2),))
+        prompt_t, step_t = unit_costs()
+        rep = simulate_serving(trace, prompt_time=prompt_t, step_time=step_t,
+                               max_batch=1)
+        assert rep.finish_times[0] == pytest.approx(10.0 + 1.0 + 0.1)
+
+    def test_queueing_delay_under_capacity_1(self):
+        trace = WorkloadTrace((Request(0, 0.0, 8, 5), Request(1, 0.0, 8, 5)))
+        prompt_t, step_t = unit_costs(prompt_cost=1.0, step_cost=1.0)
+        rep = simulate_serving(trace, prompt_time=prompt_t, step_time=step_t,
+                               max_batch=1)
+        assert rep.queue_delays[0] == pytest.approx(0.0)
+        assert rep.queue_delays[1] > 0.0
+        assert rep.finish_times[1] > rep.finish_times[0]
+
+    def test_batching_shares_steps(self):
+        """Two concurrent requests at max_batch 2 finish much sooner than
+        serialized at max_batch 1."""
+        trace = WorkloadTrace((Request(0, 0.0, 8, 10), Request(1, 0.0, 8, 10)))
+        prompt_t, step_t = unit_costs(prompt_cost=0.5, step_cost=1.0)
+        together = simulate_serving(trace, prompt_time=prompt_t,
+                                    step_time=step_t, max_batch=2)
+        alone = simulate_serving(trace, prompt_time=prompt_t,
+                                 step_time=step_t, max_batch=1)
+        assert together.makespan < 0.7 * alone.makespan
+
+    def test_every_request_finishes(self):
+        trace = synthesize_trace(num_requests=30, arrival_rate=5.0,
+                                 mean_prompt=16, mean_gen=8, seed=11)
+        prompt_t, step_t = unit_costs(prompt_cost=0.05, step_cost=0.02)
+        rep = simulate_serving(trace, prompt_time=prompt_t, step_time=step_t,
+                               max_batch=8)
+        assert set(rep.finish_times) == {r.request_id for r in trace.requests}
+        assert rep.total_tokens == trace.total_gen_tokens
+
+    def test_percentiles_ordered(self):
+        trace = synthesize_trace(num_requests=50, arrival_rate=10.0,
+                                 mean_prompt=16, mean_gen=8, seed=2)
+        prompt_t, step_t = unit_costs(prompt_cost=0.05, step_cost=0.02)
+        rep = simulate_serving(trace, prompt_time=prompt_t, step_time=step_t,
+                               max_batch=4)
+        p50 = rep.latency_percentile(trace, 50)
+        p99 = rep.latency_percentile(trace, 99)
+        assert p50 <= p99
+        assert rep.ttft_percentile(trace, 50) <= p50
+
+    def test_validation(self):
+        trace = WorkloadTrace((Request(0, 0.0, 1, 1),))
+        prompt_t, step_t = unit_costs()
+        with pytest.raises(ValueError):
+            simulate_serving(trace, prompt_time=prompt_t, step_time=step_t,
+                             max_batch=0)
+
+
+class TestModelIntegration:
+    def test_serving_with_dense_latency_model(self):
+        model = DenseLatencyModel(DENSE_ZOO["gpt-13b"], dgx_a100_cluster(1),
+                                  tp=4)
+        prompt_t, step_t = serving_step_times(model, mean_prompt=128,
+                                              mean_gen=16)
+        trace = synthesize_trace(num_requests=20, arrival_rate=20.0,
+                                 mean_prompt=128, mean_gen=16, seed=4)
+        rep = simulate_serving(trace, prompt_time=prompt_t, step_time=step_t,
+                               max_batch=16)
+        assert rep.tokens_per_second > 0
+        # Queueing pushes P99 above P50 under this arrival pressure.
+        assert rep.latency_percentile(trace, 99) >= rep.latency_percentile(
+            trace, 50)
+
+
+@given(
+    n=st.integers(min_value=1, max_value=25),
+    rate=st.floats(min_value=0.5, max_value=20.0),
+    cap=st.integers(min_value=1, max_value=8),
+)
+@settings(max_examples=30, deadline=None)
+def test_serving_conservation_property(n, rate, cap):
+    """Properties: all requests finish after they arrive; token accounting
+    is exact; higher capacity never slows the makespan."""
+    trace = synthesize_trace(num_requests=n, arrival_rate=rate,
+                             mean_prompt=8, mean_gen=4, seed=n)
+    prompt_t, step_t = (lambda b, p: 0.01, lambda b: 0.02)
+    rep = simulate_serving(trace, prompt_time=prompt_t, step_time=step_t,
+                           max_batch=cap)
+    for r in trace.requests:
+        assert rep.finish_times[r.request_id] >= r.arrival
+        assert rep.first_token_times[r.request_id] >= r.arrival
+    assert rep.total_tokens == trace.total_gen_tokens
+    bigger = simulate_serving(trace, prompt_time=prompt_t, step_time=step_t,
+                              max_batch=cap + 1)
+    assert bigger.makespan <= rep.makespan + 1e-9

@@ -1,0 +1,97 @@
+"""Tests for deployment execution traces + engine-level properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.engine import DenseLatencyModel, Workload
+from repro.engine.trace_run import trace_generation
+from repro.hardware import dgx_a100_cluster
+from repro.model import DENSE_ZOO, scaled_config
+
+CLUSTER = dgx_a100_cluster(4)
+
+
+class TestDeploymentTrace:
+    def setup_method(self):
+        self.model = DenseLatencyModel(DENSE_ZOO["lm-175b"], CLUSTER,
+                                       tp=8, pp=2)
+        self.w = Workload(batch=16, prompt_len=128, gen_tokens=6)
+        self.trace = trace_generation(self.model, self.w)
+
+    def test_one_lane_per_gpu(self):
+        gpu_lanes = [l for l in self.trace.timeline.lanes()
+                     if l.startswith("stage")]
+        assert len(gpu_lanes) == 16  # tp8 x pp2
+
+    def test_no_lane_overlaps(self):
+        for lane in self.trace.timeline.lanes():
+            assert not self.trace.timeline.has_overlap(lane), lane
+
+    def test_kernel_and_allreduce_spans_present(self):
+        labels = {s.label for s in
+                  self.trace.timeline.spans(self.trace.gpu_lane(0, 0))}
+        assert any(l.endswith(":kernels") for l in labels)
+        assert any(l.endswith(":allreduce") for l in labels)
+
+    def test_tp_ranks_mirror_each_other(self):
+        a = self.trace.timeline.spans(self.trace.gpu_lane(0, 0))
+        b = self.trace.timeline.spans(self.trace.gpu_lane(0, 7))
+        assert [(s.start, s.end) for s in a] == [(s.start, s.end) for s in b]
+
+    def test_makespan_matches_estimate(self):
+        report = self.model.estimate(self.w)
+        assert self.trace.makespan == pytest.approx(report.total_latency)
+
+    def test_utilization_in_range(self):
+        u = self.trace.mean_gpu_utilization()
+        assert 0.3 < u <= 1.0
+
+    def test_chrome_export_loads(self):
+        import json
+
+        events = self.trace.to_chrome_trace()
+        assert events
+        parsed = json.loads(json.dumps(events))
+        assert all(e["ph"] == "X" for e in parsed)
+
+    def test_single_gpu_trace(self):
+        model = DenseLatencyModel(DENSE_ZOO["gpt-13b"], CLUSTER, tp=1, pp=1)
+        tr = trace_generation(model, Workload(batch=1, prompt_len=16,
+                                              gen_tokens=2))
+        assert tr.timeline.lanes() == ["stage0/tp0"]
+        # No all-reduce spans on a single GPU.
+        labels = {s.label for s in tr.timeline.spans("stage0/tp0")}
+        assert not any(l.endswith(":allreduce") for l in labels)
+
+
+class TestEngineProperties:
+    @given(
+        layers=st.integers(min_value=2, max_value=24),
+        hidden_mult=st.integers(min_value=1, max_value=8),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_latency_monotone_in_model_size(self, layers, hidden_mult):
+        """More layers or wider hidden never decreases token latency."""
+        from repro.model import ModelConfig
+
+        base = ModelConfig(name="p", hidden=1024 * hidden_mult, layers=layers,
+                           heads=8)
+        bigger = ModelConfig(name="q", hidden=1024 * hidden_mult,
+                             layers=layers + 2, heads=8)
+        w = Workload(batch=1, prompt_len=16, gen_tokens=1)
+        t_a = DenseLatencyModel(base, CLUSTER).estimate(w).token_latency
+        t_b = DenseLatencyModel(bigger, CLUSTER).estimate(w).token_latency
+        assert t_b > t_a
+
+    @given(target=st.sampled_from([5e9, 20e9, 60e9, 150e9]))
+    @settings(max_examples=8, deadline=None)
+    def test_planner_plans_fit(self, target):
+        """Whatever the planner chooses actually fits the memory budget."""
+        from repro.parallel import plan_dense
+
+        cfg = scaled_config(target)
+        plan = plan_dense(cfg, CLUSTER, batch=1, seq_len=256)
+        assert plan.memory_per_gpu <= CLUSTER.gpu.memory_bytes * 0.95
+        assert plan.gpus <= CLUSTER.num_gpus
+        assert cfg.heads % plan.tp == 0

@@ -1,0 +1,227 @@
+"""Tests for ZeRO-Inference: tiers, streaming pipeline, engine (Sec. VI)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hardware import dgx2_v100, lambda_a6000_workstation
+from repro.model import DENSE_ZOO, get_model
+from repro.zero import (
+    Tier,
+    TieredWeightStore,
+    ZeroInferenceEngine,
+    placement_for,
+    simulate_layer_stream,
+)
+
+WS = lambda_a6000_workstation(1)
+
+
+class TestPlacement:
+    def test_small_model_rests_in_dram(self):
+        assert placement_for(100e9, WS) is Tier.DRAM
+
+    def test_huge_model_goes_to_nvme(self):
+        assert placement_for(1.06e12, WS) is Tier.NVME
+
+    def test_beyond_nvme_rejected(self):
+        with pytest.raises(ValueError, match="neither"):
+            placement_for(3e12, WS)
+
+
+class TestTieredStore:
+    def test_put_fetch_roundtrip(self):
+        store = TieredWeightStore(WS)
+        blob = np.arange(16, dtype=np.float32)
+        store.put(0, blob, Tier.DRAM)
+        got = store.fetch(0)
+        np.testing.assert_array_equal(got, blob)
+        assert store.tier_of(0) is Tier.DRAM
+        assert len(store.fetch_log) == 1
+        assert store.fetch_log[0].time > 0
+
+    def test_gpu_resident_fetch_is_free(self):
+        store = TieredWeightStore(WS)
+        store.put(0, np.zeros(4), Tier.GPU)
+        assert store.fetch_time(0) == 0.0
+
+    def test_duplicate_layer_rejected(self):
+        store = TieredWeightStore(WS)
+        store.put(0, np.zeros(4), Tier.DRAM)
+        with pytest.raises(KeyError):
+            store.put(0, np.zeros(4), Tier.DRAM)
+
+    def test_capacity_enforced(self):
+        store = TieredWeightStore(WS)
+        # A broadcast view reports huge nbytes without allocating.
+        too_big = np.broadcast_to(
+            np.float64(0.0), (int(WS.gpu.memory_bytes / 8) + 10,)
+        )
+        with pytest.raises(ValueError, match="capacity"):
+            store.put(0, too_big, Tier.GPU)
+
+    def test_multi_gpu_fetch_faster(self):
+        big = dgx2_v100(4)
+        store = TieredWeightStore(big)
+        store.put(0, np.zeros(10_000_000), Tier.DRAM)
+        t1 = store.fetch_time(0, num_gpus=1)
+        t4 = store.fetch_time(0, num_gpus=4)
+        assert t4 < t1
+
+    def test_nvme_slower_than_dram(self):
+        store = TieredWeightStore(WS)
+        store.put(0, np.zeros(10_000_000), Tier.DRAM)
+        store.put(1, np.zeros(10_000_000), Tier.NVME)
+        assert store.fetch_time(1) > store.fetch_time(0)
+
+    def test_total_fetch_time_accumulates(self):
+        store = TieredWeightStore(WS)
+        store.put(0, np.zeros(1000), Tier.DRAM)
+        store.fetch(0)
+        store.fetch(0)
+        assert store.total_fetch_time == pytest.approx(2 * store.fetch_time(0))
+
+
+class TestStreamingPipeline:
+    def test_prefetch_overlaps(self):
+        sync = simulate_layer_stream(num_layers=20, fetch_time_per_layer=1.0,
+                                     compute_time_per_layer=1.0,
+                                     prefetch_depth=0)
+        pre = simulate_layer_stream(num_layers=20, fetch_time_per_layer=1.0,
+                                    compute_time_per_layer=1.0,
+                                    prefetch_depth=1)
+        assert sync.makespan == pytest.approx(40.0)
+        assert pre.makespan == pytest.approx(21.0)
+
+    def test_bounded_by_dominant_resource(self):
+        r = simulate_layer_stream(num_layers=50, fetch_time_per_layer=2.0,
+                                  compute_time_per_layer=0.5, prefetch_depth=2)
+        assert r.makespan >= r.fetch_time
+        assert r.makespan <= r.fetch_time + r.compute_time
+        assert 0 < r.overlap_efficiency <= 1.0
+
+    def test_diminishing_returns_of_depth(self):
+        """Fig. 10c's saturation: beyond depth 1 the gain vanishes when one
+        side dominates."""
+        d1 = simulate_layer_stream(num_layers=30, fetch_time_per_layer=1.0,
+                                   compute_time_per_layer=2.0, prefetch_depth=1)
+        d4 = simulate_layer_stream(num_layers=30, fetch_time_per_layer=1.0,
+                                   compute_time_per_layer=2.0, prefetch_depth=4)
+        assert d4.makespan == pytest.approx(d1.makespan, rel=0.02)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            simulate_layer_stream(num_layers=0, fetch_time_per_layer=1,
+                                  compute_time_per_layer=1)
+        with pytest.raises(ValueError):
+            simulate_layer_stream(num_layers=1, fetch_time_per_layer=1,
+                                  compute_time_per_layer=0)
+        with pytest.raises(ValueError):
+            simulate_layer_stream(num_layers=1, fetch_time_per_layer=1,
+                                  compute_time_per_layer=1, prefetch_depth=-1)
+
+
+@given(
+    layers=st.integers(min_value=1, max_value=40),
+    fetch=st.floats(min_value=0.01, max_value=5.0),
+    compute=st.floats(min_value=0.01, max_value=5.0),
+    depth=st.integers(min_value=0, max_value=4),
+)
+@settings(max_examples=40, deadline=None)
+def test_stream_bounds_property(layers, fetch, compute, depth):
+    """Properties: makespan within [max(F, C), F + C]; more prefetch never
+    hurts."""
+    r = simulate_layer_stream(num_layers=layers, fetch_time_per_layer=fetch,
+                              compute_time_per_layer=compute,
+                              prefetch_depth=depth)
+    total_f, total_c = layers * fetch, layers * compute
+    assert r.makespan >= max(total_f, total_c) - 1e-9
+    assert r.makespan <= total_f + total_c + 1e-9
+    if depth:
+        shallower = simulate_layer_stream(
+            num_layers=layers, fetch_time_per_layer=fetch,
+            compute_time_per_layer=compute, prefetch_depth=depth - 1)
+        assert r.makespan <= shallower.makespan + 1e-9
+
+
+class TestZeroEngine:
+    def test_530b_runs_on_one_a6000(self):
+        """The headline 25x claim: 530B on a single 48 GB GPU."""
+        eng = ZeroInferenceEngine(get_model("lm-530b"), WS)
+        assert eng.placement is Tier.NVME
+        rep = eng.forward_pass(batch=1, tokens_per_seq=512)
+        assert rep.time > 0
+        assert rep.tflops_per_gpu > 0
+
+    def test_dram_models_hit_half_of_peak(self):
+        """Fig. 9b: ~84 TFLOPS (~54% of A6000 peak) for streamed models."""
+        for name in ("gpt-neox-20b", "gpt-50b", "gpt-87b"):
+            eng = ZeroInferenceEngine(get_model(name), WS)
+            rep = eng.max_batch_pass(seq_len=2048)
+            frac = rep.tflops_per_gpu * 1e12 / WS.gpu.fp16_flops
+            assert 0.45 < frac < 0.60, name
+
+    def test_near_linear_multi_gpu_scaling(self):
+        """Fig. 9c: GPT-50B on 1..16 V100s scales nearly perfectly."""
+        cluster = dgx2_v100(16)
+        cfg = get_model("gpt-50b")
+        t1 = ZeroInferenceEngine(cfg, cluster, num_gpus=1).max_batch_pass()
+        t16 = ZeroInferenceEngine(cfg, cluster, num_gpus=16).max_batch_pass()
+        total1 = t1.tflops_per_gpu * 1
+        total16 = t16.tflops_per_gpu * 16
+        assert total16 > 14 * total1  # >87% scaling efficiency
+
+    def test_v100_efficiency_matches_paper(self):
+        """Fig. 9c quotes 67 TFLOPS (53% of V100 peak) per GPU."""
+        eng = ZeroInferenceEngine(get_model("gpt-50b"), dgx2_v100(16), num_gpus=1)
+        rep = eng.max_batch_pass()
+        assert rep.tflops_per_gpu == pytest.approx(67, rel=0.12)
+
+    def test_streaming_beats_pinning_weights_via_batch(self):
+        """Sec. VI-A: the streamed design sustains much larger batches than
+        the weights-resident alternative on the same GPU."""
+        from repro.baselines import GPUOnlyBaseline
+
+        cfg = get_model("gpt-neox-20b")
+        zero = ZeroInferenceEngine(cfg, WS)
+        pinned = GPUOnlyBaseline(cfg, WS)
+        assert zero.max_batch(2048) > 5 * max(1, pinned.max_batch(2048))
+
+    def test_prefetch_helps_most_near_the_crossover(self):
+        """Fig. 10c: prefetch saves min(fetch, compute) per layer, so the
+        gain peaks where the two are comparable and shrinks toward either
+        extreme."""
+        cfg = get_model("gpt-neox-20b")
+        eng0 = ZeroInferenceEngine(cfg, WS, prefetch_depth=0)
+        eng1 = ZeroInferenceEngine(cfg, WS, prefetch_depth=1)
+        # Pick a batch whose compute/layer is near the fetch/layer time.
+        fetch = eng0.fetch_time_per_layer()
+        batch = 1
+        while (eng0.compute_time_per_layer(batch, 1, 128) < fetch
+               and batch < 4096):
+            batch *= 2
+        r0 = eng0.forward_pass(batch=batch, tokens_per_seq=1, kv_len=128)
+        r1 = eng1.forward_pass(batch=batch, tokens_per_seq=1, kv_len=128)
+        assert r1.time < r0.time * 0.75
+        # Tiny batch: fetch dominates, prefetch gain is marginal but real.
+        s0 = eng0.forward_pass(batch=1, tokens_per_seq=1, kv_len=128)
+        s1 = eng1.forward_pass(batch=1, tokens_per_seq=1, kv_len=128)
+        assert s1.time < s0.time
+        assert s1.time > s0.time * 0.85
+
+    def test_generation_throughput_positive(self):
+        eng = ZeroInferenceEngine(get_model("gpt-neox-20b"), WS)
+        t = eng.generation_throughput(prompt_len=512, gen_tokens=50)
+        assert t > 0
+
+    def test_validation(self):
+        cfg = get_model("gpt-neox-20b")
+        with pytest.raises(ValueError):
+            ZeroInferenceEngine(cfg, WS, num_gpus=0)
+        with pytest.raises(ValueError):
+            ZeroInferenceEngine(cfg, WS, prefetch_depth=-1)
+        eng = ZeroInferenceEngine(cfg, WS)
+        with pytest.raises(ValueError):
+            eng.max_batch(0)
+        with pytest.raises(ValueError):
+            eng.forward_pass(batch=0, tokens_per_seq=1)
