@@ -5,17 +5,34 @@ throughput, over requests that arrive and finish independently. This
 example demonstrates the two extension features built on that framing:
 
 * :class:`~repro.engine.GenerationSession` — continuous batching over a
-  real (tiny) model: requests join mid-flight, finish on EOS or length,
-  and every output is identical to running that prompt alone;
-* :func:`~repro.engine.tune_dense_deployment` — search TP x PP x batch x
-  schedule for the best SLA-compliant throughput on a cluster.
+  real (tiny) model: one shared :class:`~repro.engine.Scheduler` admits
+  requests into bounded slots (pluggable policy), every decode step is
+  ONE batched forward over paged KV blocks, and every output is
+  identical to running that prompt alone;
+* :func:`~repro.engine.simulate_serving` — the analytical backend
+  replaying the *same* scheduler priced by the latency model, with a
+  chrome-trace exportable timeline;
+* :func:`~repro.engine.tune_dense_deployment` /
+  :func:`~repro.engine.tune_serving_deployment` — search deployments for
+  the best SLA-compliant throughput, steady-state or trace-level.
 
 Run:  python examples/serving_and_tuning.py
 """
 
+import json
+import tempfile
+
 import numpy as np
 
-from repro.engine import GenerationSession, tune_dense_deployment
+from repro.engine import (
+    DenseLatencyModel,
+    GenerationSession,
+    serving_step_times,
+    simulate_serving,
+    synthesize_trace,
+    tune_dense_deployment,
+    tune_serving_deployment,
+)
 from repro.hardware import dgx_a100_cluster
 from repro.model import DENSE_ZOO, DenseTransformer, ModelConfig
 
@@ -48,8 +65,48 @@ def serving_demo() -> None:
             req.output_ids,
             model.generate(req.prompt[None, :], len(req.generated))[0],
         )
-    print(f"  {len(rids)} requests, {session.tokens_generated} tokens, all "
-          "outputs identical to solo runs.")
+    print(f"  {len(rids)} requests, {session.tokens_generated} tokens in "
+          f"{session.forward_calls} forwards (vs {session.tokens_generated} "
+          "for a per-request loop), all outputs identical to solo runs.")
+    print(f"  admission order: {session.scheduler.admission_order}, "
+          f"kv blocks now in use: {session.kv_blocks_in_use}")
+
+    # Same workload under the shortest-prompt policy: the scheduler, not
+    # the execution engine, decides who runs.
+    sp = GenerationSession(model, max_concurrency=1,
+                           policy="shortest_prompt")
+    rng = np.random.default_rng(0)
+    for want, plen in ((2, 6), (2, 1), (2, 3)):
+        sp.submit(rng.integers(0, cfg.vocab, size=plen), max_new_tokens=want)
+    sp.run()
+    print(f"  shortest-prompt admission order: "
+          f"{sp.scheduler.admission_order} (submitted 0, 1, 2)")
+
+
+def analytical_serving_demo() -> None:
+    print("\n=== analytical replay: the same scheduler, priced ===")
+    cluster = dgx_a100_cluster(1)
+    lat = DenseLatencyModel(DENSE_ZOO["gpt-13b"], cluster, tp=4)
+    prompt_t, step_t = serving_step_times(lat, mean_prompt=128, mean_gen=16)
+    trace = synthesize_trace(num_requests=80, arrival_rate=25.0,
+                             mean_prompt=128, mean_gen=16, seed=5)
+    rep = simulate_serving(trace, prompt_time=prompt_t, step_time=step_t,
+                           max_batch=16)
+    print(f"  {len(trace.requests)} requests -> "
+          f"{rep.tokens_per_second:7.0f} tok/s, "
+          f"TTFT p50 {rep.ttft_percentile(trace, 50) * 1e3:6.1f} ms, "
+          f"p99 {rep.ttft_percentile(trace, 99) * 1e3:6.1f} ms")
+    with tempfile.NamedTemporaryFile("w", suffix=".json",
+                                     delete=False) as f:
+        json.dump({"traceEvents": rep.timeline.to_chrome_trace()}, f)
+        print(f"  scheduler timeline -> {f.name} "
+              "(load in ui.perfetto.dev)")
+
+    best = tune_serving_deployment(DENSE_ZOO["gpt-13b"], cluster, trace,
+                                   ttft_sla=1.0, max_gpus=8)
+    print(f"  best under 1 s P99-TTFT SLA: tp={best.tp} "
+          f"max_batch={best.max_batch} -> {best.tokens_per_second:.0f} tok/s "
+          f"(p99 TTFT {best.ttft_p99 * 1e3:.0f} ms)")
 
 
 def tuning_demo() -> None:
@@ -72,4 +129,5 @@ def tuning_demo() -> None:
 
 if __name__ == "__main__":
     serving_demo()
+    analytical_serving_demo()
     tuning_demo()

@@ -5,6 +5,7 @@ from .generation import GenerationRequest, GenerationSession
 from .inference import InferenceEngine, MoEInferenceEngine
 from .latency import DenseLatencyModel, LatencyReport, Workload
 from .moe import MoELatencyModel, MoEStepBreakdown
+from .scheduler import ADMISSION_POLICIES, SchedRequest, Scheduler, SchedulerEvent
 from .serving_sim import (
     Request,
     ServingReport,
@@ -22,9 +23,20 @@ from .offload import (
 )
 from .throughput import ThroughputPoint, best_throughput, candidate_batches
 from .trace_run import DeploymentTrace, trace_generation
-from .tuner import TuningResult, tune_dense_deployment
+from .tuner import (
+    ServingTuningResult,
+    TuningResult,
+    tune_dense_deployment,
+    tune_serving_deployment,
+)
 
 __all__ = [
+    "ADMISSION_POLICIES",
+    "SchedRequest",
+    "Scheduler",
+    "SchedulerEvent",
+    "ServingTuningResult",
+    "tune_serving_deployment",
     "DenseLatencyModel",
     "GenerationRequest",
     "GenerationSession",

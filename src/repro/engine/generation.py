@@ -1,14 +1,24 @@
-"""Functional generation serving: continuous batching with per-sequence
-termination.
+"""Functional generation serving: scheduler-driven continuous batching
+with one batched forward per decode step.
 
 Sec. IV-C1's dynamic-queue schedule exists because autoregressive
 sequences *terminate independently*: a fixed-batch engine would idle on
 finished sequences or stall new ones. This module is the functional
-counterpart: a :class:`GenerationSession` accepts requests at any time,
-advances every live sequence one token per :meth:`step`, retires
-sequences on EOS or length limits, and admits queued requests into freed
-slots — the semantics the pipeline scheduler's micro-batch queue
-implements in time.
+backend of that idea: request lifecycle (queueing, admission into
+bounded slots, EOS/length retirement, admission policy) is owned by the
+shared :class:`~repro.engine.scheduler.Scheduler` — the same object the
+analytical :func:`~repro.engine.serving_sim.simulate_serving` replays —
+while execution runs through a
+:class:`~repro.model.ragged.RaggedDecoder`: every :meth:`step` decodes
+the whole live batch in **one** model forward, and admissions prefill
+together in one ragged pass.
+
+KV memory is block-granular by default (Sec. IV-B): each request's cache
+is a :class:`~repro.model.paged_kv.PagedKVCache` over one shared
+:class:`~repro.model.paged_kv.BlockAllocator`, blocks are reserved at
+admission (so the pool can never be oversubscribed) and returned the
+moment a request retires. ``offload_idle_kv`` instead parks idle caches
+in host memory (Sec. IV-C2), with cumulative PCIe-traffic counters.
 
 Correctness contract (tested): every request's output equals running
 ``model.generate`` on that prompt alone, regardless of what else shares
@@ -23,8 +33,11 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..model.dense import DenseTransformer
-from ..model.kvcache import HostOffloadKVCache, KVCache
+from ..model.kvcache import HostOffloadKVCache
+from ..model.paged_kv import BlockAllocator, PagedKVCache, blocks_needed
+from ..model.ragged import RaggedDecoder
 from ..model.sampling import SamplingConfig, sample_next_token
+from .scheduler import SchedRequest, Scheduler
 
 __all__ = ["GenerationRequest", "GenerationSession"]
 
@@ -37,7 +50,7 @@ class GenerationRequest:
     prompt: np.ndarray  # (seq,) int
     max_new_tokens: int
     generated: list[int] = field(default_factory=list)
-    cache: KVCache | None = None
+    cache: object | None = None
     done: bool = False
     finish_reason: str | None = None
 
@@ -60,23 +73,54 @@ class GenerationSession:
         sampling: SamplingConfig | None = None,
         seed: int = 0,
         offload_idle_kv: bool = False,
+        policy: str = "fcfs",
+        kv_block_size: int = 16,
+        kv_pool_blocks: int | None = None,
     ) -> None:
-        """``offload_idle_kv`` parks every request's KV cache in host
-        memory between its steps (Sec. IV-C2's policy, functionally);
+        """``policy`` picks the admission order (see
+        :data:`~repro.engine.scheduler.ADMISSION_POLICIES`).
+
+        ``kv_block_size``/``kv_pool_blocks`` shape the paged-KV pool
+        (default pool: enough blocks for ``max_concurrency`` sequences of
+        ``max_seq``). ``offload_idle_kv`` switches to host-offload caches
+        instead: every request's KV parks in host memory between its
+        steps (Sec. IV-C2's policy, functionally);
         :attr:`kv_bytes_offloaded`/:attr:`kv_bytes_fetched` expose the
         induced PCIe traffic the performance model prices."""
-        if max_concurrency < 1:
-            raise ValueError("max_concurrency must be >= 1")
         self.model = model
         self.eos_token = eos_token
         self.max_concurrency = max_concurrency
         self.sampling = sampling or SamplingConfig(greedy=True)
         self.offload_idle_kv = offload_idle_kv
+        self.scheduler = Scheduler(max_concurrency, policy=policy,
+                                   eos_token=eos_token)
         self._rng = np.random.default_rng(seed)
         self._ids = itertools.count()
-        self._waiting: list[GenerationRequest] = []
-        self._active: list[GenerationRequest] = []
+        layers = model.config.layers
+        if offload_idle_kv:
+            self.kv_allocator: BlockAllocator | None = None
+            self.kv_block_size = None
+            cache_factory = lambda: HostOffloadKVCache(layers)  # noqa: E731
+        else:
+            per_seq = blocks_needed(model.config.max_seq,
+                                    block_size=kv_block_size,
+                                    num_layers=layers)
+            pool = (max_concurrency * per_seq if kv_pool_blocks is None
+                    else kv_pool_blocks)
+            self.kv_allocator = BlockAllocator(pool)
+            self.kv_block_size = kv_block_size
+            cache_factory = lambda: PagedKVCache(  # noqa: E731
+                layers, self.kv_allocator, block_size=kv_block_size
+            )
+        self.decoder = RaggedDecoder(model, cache_factory=cache_factory)
+        self._reqs: dict[int, GenerationRequest] = {}
+        self._row_of: dict[int, int] = {}
+        self._reserved: dict[int, int] = {}  # request_id -> reserved blocks
+        self._reserved_total = 0
+        self._active: list[GenerationRequest] = []  # mirrors decoder row order
         self._finished: dict[int, GenerationRequest] = {}
+        self._kv_bytes_offloaded_retired = 0
+        self._kv_bytes_fetched_retired = 0
         self.steps_run = 0
         self.tokens_generated = 0
 
@@ -94,18 +138,33 @@ class GenerationSession:
             prompt=prompt,
             max_new_tokens=max_new_tokens,
         )
-        self._waiting.append(req)
+        sched_req = SchedRequest(
+            request_id=req.request_id,
+            prompt_len=int(prompt.size),
+            max_new_tokens=max_new_tokens,
+            arrival=float(self.scheduler.step),
+        )
+        if self.kv_allocator is not None:
+            need = self._blocks_for(sched_req)
+            if need > self.kv_allocator.num_blocks:
+                raise ValueError(
+                    f"request needs {need} KV blocks but the pool only has "
+                    f"{self.kv_allocator.num_blocks}; raise kv_pool_blocks "
+                    "or shorten prompt/max_new_tokens"
+                )
+        self._reqs[req.request_id] = req
+        self.scheduler.enqueue(sched_req)
         return req.request_id
 
     @property
     def num_active(self) -> int:
         """Sequences currently decoding."""
-        return len(self._active)
+        return self.scheduler.num_active
 
     @property
     def num_waiting(self) -> int:
         """Requests queued for a slot."""
-        return len(self._waiting)
+        return self.scheduler.num_waiting
 
     def result(self, request_id: int) -> GenerationRequest:
         """Fetch a finished request."""
@@ -115,77 +174,135 @@ class GenerationSession:
 
     # -- the engine loop -------------------------------------------------
 
-    def _admit(self) -> None:
-        """Move waiting requests into free slots and run their prompts."""
-        while self._waiting and len(self._active) < self.max_concurrency:
-            req = self._waiting.pop(0)
-            cache_cls = HostOffloadKVCache if self.offload_idle_kv else KVCache
-            req.cache = cache_cls(self.model.config.layers)
-            logits = self.model.forward(req.prompt[None, :], req.cache)
-            self._emit(req, self._pick(logits))
-            if not req.done:
-                self._active.append(req)
-                self._park(req)
+    def _blocks_for(self, sched_req: SchedRequest) -> int:
+        """Worst-case pool blocks the request can occupy (its cache never
+        exceeds ``prompt + max_new_tokens`` positions, capped by max_seq)."""
+        peak = min(sched_req.prompt_len + sched_req.max_new_tokens,
+                   self.model.config.max_seq)
+        return blocks_needed(peak, block_size=self.kv_block_size,
+                             num_layers=self.model.config.layers)
 
-    def _park(self, req: GenerationRequest) -> None:
-        """Offload the request's (now idle) cache until its next step."""
-        if self.offload_idle_kv and isinstance(req.cache, HostOffloadKVCache):
+    def _try_reserve(self, sched_req: SchedRequest) -> bool:
+        """Admission gate: reserve the request's worst-case blocks now, so
+        candidates admitted in the same round see each other's claims."""
+        if self.kv_allocator is None:
+            return True
+        need = self._blocks_for(sched_req)
+        if self._reserved_total + need > self.kv_allocator.num_blocks:
+            return False
+        self._reserved[sched_req.request_id] = need
+        self._reserved_total += need
+        return True
+
+    def _release(self, request_id: int) -> None:
+        self._reserved_total -= self._reserved.pop(request_id, 0)
+
+    def _admit(self) -> None:
+        """Fill free slots per the scheduler's policy; prefill all
+        admissions of a round together in one ragged forward."""
+        while True:
+            admitted = self.scheduler.admit(can_admit=self._try_reserve)
+            if not admitted:
+                return
+            reqs = [self._reqs[s.request_id] for s in admitted]
+            try:
+                row_ids, logits = self.decoder.add_rows(
+                    [r.prompt for r in reqs])
+            except Exception:
+                for s in admitted:
+                    self._release(s.request_id)
+                raise
+            tokens = sample_next_token(logits, self.sampling, self._rng)
+            for req, row_id in zip(reqs, row_ids):
+                self._row_of[req.request_id] = row_id
+                req.cache = self.decoder.row_cache(row_id)
+                self._active.append(req)
+            for req, tok in zip(reqs, tokens):
+                self._emit(req, int(tok))
+            self._park(reqs)
+            # Loop: same-step retirements (max_new_tokens == 1 / instant
+            # EOS) free slots the queue can backfill immediately.
+
+    def _park(self, reqs: list[GenerationRequest]) -> None:
+        """Offload the requests' (now idle) caches until their next step."""
+        if not self.offload_idle_kv:
+            return
+        for req in reqs:
+            if req.done or not isinstance(req.cache, HostOffloadKVCache):
+                continue
             for layer in range(self.model.config.layers):
                 req.cache.offload(layer)
 
     @property
     def kv_bytes_offloaded(self) -> int:
-        """Cumulative KV bytes moved to the host (live requests only)."""
-        return sum(r.cache.bytes_offloaded for r in self._active
+        """Cumulative KV bytes moved to the host (retired requests included)."""
+        live = sum(r.cache.bytes_offloaded for r in self._active
                    if isinstance(r.cache, HostOffloadKVCache))
+        return self._kv_bytes_offloaded_retired + live
 
     @property
     def kv_bytes_fetched(self) -> int:
-        """Cumulative KV bytes paged back from the host."""
-        return sum(r.cache.bytes_fetched for r in self._active
+        """Cumulative KV bytes paged back from the host (retired included)."""
+        live = sum(r.cache.bytes_fetched for r in self._active
                    if isinstance(r.cache, HostOffloadKVCache))
+        return self._kv_bytes_fetched_retired + live
 
-    def _pick(self, logits: np.ndarray) -> int:
-        """Next-token choice under the session's sampling policy."""
-        return int(sample_next_token(logits[:, -1], self.sampling, self._rng)[0])
+    @property
+    def kv_blocks_in_use(self) -> int:
+        """Pool blocks currently backing live sequences (0 when offloading)."""
+        return 0 if self.kv_allocator is None else self.kv_allocator.used_blocks
+
+    @property
+    def forward_calls(self) -> int:
+        """Model forwards issued so far (prefills + one per decode step)."""
+        return self.decoder.forward_calls
 
     def _emit(self, req: GenerationRequest, token: int) -> None:
         req.generated.append(token)
         self.tokens_generated += 1
-        if self.eos_token is not None and token == self.eos_token:
+        reason = self.scheduler.record_token(req.request_id, token)
+        if reason is not None:
             req.done = True
-            req.finish_reason = "eos"
-        elif len(req.generated) >= req.max_new_tokens:
-            req.done = True
-            req.finish_reason = "length"
-        if req.done:
-            req.cache = None  # free the KV memory (Sec. IV-B pressure)
-            self._finished[req.request_id] = req
+            req.finish_reason = reason
+            self._retire(req)
+
+    def _retire(self, req: GenerationRequest) -> None:
+        """Free the request's slot, row and KV memory; bank its counters."""
+        if isinstance(req.cache, HostOffloadKVCache):
+            self._kv_bytes_offloaded_retired += req.cache.bytes_offloaded
+            self._kv_bytes_fetched_retired += req.cache.bytes_fetched
+        row_id = self._row_of.pop(req.request_id)
+        self.decoder.drop_rows([row_id])  # paged blocks return to the pool
+        self._release(req.request_id)
+        req.cache = None  # free the KV memory (Sec. IV-B pressure)
+        self._active.remove(req)
+        self._finished[req.request_id] = req
 
     def step(self) -> list[int]:
         """Advance every live sequence one token; admit queued requests.
 
-        Returns the ids of requests that finished during this step.
+        The whole live batch decodes in **one** model forward, whatever
+        its size. Returns the ids of requests that finished this step.
         """
         before = set(self._finished)
         self._admit()
-        still_active: list[GenerationRequest] = []
-        for req in self._active:
-            last = np.array([[req.generated[-1]]])
-            logits = self.model.forward(last, req.cache)
-            self._emit(req, self._pick(logits))
-            if not req.done:
-                still_active.append(req)
-                self._park(req)
-        self._active = still_active
+        if self._active:
+            last = np.array([r.generated[-1] for r in self._active])
+            logits = self.decoder.step(last)  # one batched forward
+            tokens = sample_next_token(logits, self.sampling, self._rng)
+            live = list(self._active)
+            for req, tok in zip(live, tokens):
+                self._emit(req, int(tok))
+            self._park(live)
         self.steps_run += 1
+        self.scheduler.advance()
         self._admit()  # backfill slots freed this step
         return sorted(set(self._finished) - before)
 
     def run(self, max_steps: int = 10_000) -> dict[int, GenerationRequest]:
         """Step until every submitted request finishes."""
         steps = 0
-        while self._waiting or self._active:
+        while self.scheduler.num_waiting or self.scheduler.num_active:
             self.step()
             steps += 1
             if steps > max_steps:

@@ -1,0 +1,263 @@
+"""Shared request scheduler: one lifecycle authority for every backend.
+
+Sec. IV-C1 motivates the dynamic token queue because autoregressive
+sequences terminate independently; Sec. IV-B makes KV capacity the
+limiter on how many may run at once. Both concerns are *scheduling*
+decisions — who waits, who gets a slot, who retires — and they must not
+be re-implemented per execution backend, or the functional engine and
+the analytical simulator drift apart.
+
+:class:`Scheduler` is that single authority. It is step-driven and knows
+nothing about tensors or wall-clock pricing: backends enqueue requests
+as they arrive, call :meth:`admit` to fill free slots under a pluggable
+policy, report every generated token through :meth:`record_token` (which
+owns EOS/length retirement), and call :meth:`advance` once per decode
+iteration. Every decision lands in an event log; :meth:`to_timeline`
+renders it as a :class:`~repro.simcore.trace.Timeline` for
+``to_chrome_trace`` export.
+
+Both :class:`~repro.engine.generation.GenerationSession` (real tensors)
+and :func:`~repro.engine.serving_sim.simulate_serving` (priced time)
+consume this class, so on a shared trace they make identical admission
+and retirement decisions by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from ..simcore.trace import Timeline
+
+__all__ = [
+    "SchedRequest",
+    "SchedulerEvent",
+    "Scheduler",
+    "ADMISSION_POLICIES",
+]
+
+
+@dataclass(frozen=True)
+class SchedRequest:
+    """Scheduling-relevant metadata of one request (no tensors)."""
+
+    request_id: int
+    prompt_len: int
+    max_new_tokens: int
+    arrival: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.prompt_len < 1:
+            raise ValueError("prompt_len must be >= 1")
+        if self.max_new_tokens < 1:
+            raise ValueError("max_new_tokens must be >= 1")
+        if self.arrival < 0:
+            raise ValueError("arrival must be >= 0")
+
+
+@dataclass(frozen=True)
+class SchedulerEvent:
+    """One lifecycle decision: ``enqueue``, ``admit``, or ``retire``."""
+
+    step: int
+    kind: str
+    request_id: int
+    reason: str = ""
+
+
+def _fcfs(queue: Sequence[SchedRequest]) -> SchedRequest:
+    """First come, first served: strict arrival/enqueue order."""
+    return queue[0]
+
+
+def _shortest_prompt(queue: Sequence[SchedRequest]) -> SchedRequest:
+    """Shortest prompt first (ties broken by enqueue order — ``min`` is
+    stable). Prioritizes cheap admissions when slots are scarce."""
+    return min(queue, key=lambda r: r.prompt_len)
+
+
+ADMISSION_POLICIES: dict[str, Callable[[Sequence[SchedRequest]], SchedRequest]] = {
+    "fcfs": _fcfs,
+    "shortest_prompt": _shortest_prompt,
+}
+
+
+class Scheduler:
+    """Request lifecycle: queue -> bounded slots -> retirement.
+
+    ``policy`` names an entry of :data:`ADMISSION_POLICIES` or is a
+    callable picking the next request to admit from the waiting queue.
+    ``eos_token`` makes :meth:`record_token` retire a request the moment
+    it emits that token (reason ``"eos"``); length retirement at
+    ``max_new_tokens`` always applies.
+    """
+
+    def __init__(
+        self,
+        max_slots: int,
+        *,
+        policy: str | Callable[[Sequence[SchedRequest]], SchedRequest] = "fcfs",
+        eos_token: int | None = None,
+    ) -> None:
+        if max_slots < 1:
+            raise ValueError("max_slots must be >= 1")
+        if callable(policy):
+            self.policy_name = getattr(policy, "__name__", "custom")
+            self._pick = policy
+        else:
+            if policy not in ADMISSION_POLICIES:
+                raise ValueError(
+                    f"unknown policy {policy!r}; "
+                    f"choose from {sorted(ADMISSION_POLICIES)} or pass a callable"
+                )
+            self.policy_name = policy
+            self._pick = ADMISSION_POLICIES[policy]
+        self.max_slots = max_slots
+        self.eos_token = eos_token
+        self._queue: list[SchedRequest] = []
+        self._active: dict[int, SchedRequest] = {}  # admission order
+        self._generated: dict[int, int] = {}
+        self._step = 0
+        self.events: list[SchedulerEvent] = []
+        self._enqueue_step: dict[int, int] = {}
+        self._admit_step: dict[int, int] = {}
+        self._retire_step: dict[int, int] = {}
+        self._known: set[int] = set()
+
+    # -- state views ---------------------------------------------------------
+
+    @property
+    def step(self) -> int:
+        """Current decode iteration index."""
+        return self._step
+
+    @property
+    def active(self) -> list[int]:
+        """Request ids holding slots, in admission order."""
+        return list(self._active)
+
+    @property
+    def num_active(self) -> int:
+        """Slots currently occupied."""
+        return len(self._active)
+
+    @property
+    def num_waiting(self) -> int:
+        """Requests queued for a slot."""
+        return len(self._queue)
+
+    @property
+    def free_slots(self) -> int:
+        """Slots available for admission."""
+        return self.max_slots - len(self._active)
+
+    def generated(self, request_id: int) -> int:
+        """Tokens recorded for a request so far."""
+        return self._generated.get(request_id, 0)
+
+    @property
+    def admission_order(self) -> list[int]:
+        """Request ids in the order they were admitted."""
+        return [e.request_id for e in self.events if e.kind == "admit"]
+
+    @property
+    def retirement_order(self) -> list[int]:
+        """Request ids in the order they retired."""
+        return [e.request_id for e in self.events if e.kind == "retire"]
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def _log(self, kind: str, request_id: int, reason: str = "") -> None:
+        self.events.append(SchedulerEvent(self._step, kind, request_id, reason))
+
+    def enqueue(self, req: SchedRequest) -> None:
+        """Add a request to the waiting queue."""
+        if req.request_id in self._known:
+            raise ValueError(f"request {req.request_id} already scheduled")
+        self._known.add(req.request_id)
+        self._queue.append(req)
+        self._enqueue_step[req.request_id] = self._step
+        self._log("enqueue", req.request_id)
+
+    def admit(
+        self,
+        *,
+        can_admit: Callable[[SchedRequest], bool] | None = None,
+        max_admit: int | None = None,
+    ) -> list[SchedRequest]:
+        """Move queued requests into free slots under the policy.
+
+        ``can_admit`` lets the backend veto the policy's candidate (e.g.
+        not enough KV blocks); admission then *stops* rather than skipping
+        ahead, so capacity pressure cannot starve or reorder requests.
+        Returns the admitted requests in admission order.
+        """
+        admitted: list[SchedRequest] = []
+        while self._queue and self.free_slots > 0:
+            if max_admit is not None and len(admitted) >= max_admit:
+                break
+            cand = self._pick(self._queue)
+            if can_admit is not None and not can_admit(cand):
+                break
+            self._queue.remove(cand)
+            self._active[cand.request_id] = cand
+            self._generated[cand.request_id] = 0
+            self._admit_step[cand.request_id] = self._step
+            self._log("admit", cand.request_id)
+            admitted.append(cand)
+        return admitted
+
+    def record_token(self, request_id: int, token: int | None = None) -> str | None:
+        """Count one generated token; decide and apply retirement.
+
+        Returns ``"eos"`` / ``"length"`` when this token finishes the
+        request (the slot is freed immediately), else ``None``. Backends
+        without real tokens (the analytical simulator) pass no ``token``
+        and rely on length retirement alone.
+        """
+        if request_id not in self._active:
+            raise KeyError(f"request {request_id} is not active")
+        req = self._active[request_id]
+        self._generated[request_id] += 1
+        reason: str | None = None
+        if self.eos_token is not None and token == self.eos_token:
+            reason = "eos"
+        elif self._generated[request_id] >= req.max_new_tokens:
+            reason = "length"
+        if reason is not None:
+            del self._active[request_id]
+            self._retire_step[request_id] = self._step
+            self._log("retire", request_id, reason)
+        return reason
+
+    def advance(self) -> int:
+        """End the current decode iteration; returns the new step index."""
+        self._step += 1
+        return self._step
+
+    # -- introspection ---------------------------------------------------
+
+    def to_timeline(self) -> Timeline:
+        """Render the event log as a step-indexed :class:`Timeline`.
+
+        Each request gets a lane with its ``queued`` and ``active``
+        phases (a retirement during step ``s`` ends the span at ``s+1``);
+        export with ``to_chrome_trace(time_unit=...)``.
+        """
+        tl = Timeline()
+        for rid in sorted(self._enqueue_step):
+            lane = f"request-{rid}"
+            enq = self._enqueue_step[rid]
+            adm = self._admit_step.get(rid, self._step)
+            tl.record_instant(lane, enq, "enqueue")
+            if adm > enq:
+                tl.record(lane, enq, adm, "queued")
+            if rid in self._admit_step:
+                end = self._retire_step.get(rid, self._step)
+                tl.record(lane, adm, end + 1, "active")
+            if rid in self._retire_step:
+                reason = next(e.reason for e in self.events
+                              if e.kind == "retire" and e.request_id == rid)
+                tl.record_instant(lane, self._retire_step[rid] + 1,
+                                  f"retire ({reason})")
+        return tl

@@ -8,14 +8,25 @@ whose per-iteration costs come from any step-time model (the dense
 latency engine supplies them), reporting time-to-first-token and
 end-to-end latency percentiles plus sustained throughput — the numbers
 an operator actually quotes against an SLA.
+
+Admission and retirement decisions are **not** made here: the replay
+drives the same :class:`~repro.engine.scheduler.Scheduler` that the
+functional :class:`~repro.engine.generation.GenerationSession` uses, and
+merely *prices* its decisions with the latency model — so the analytical
+and functional serving paths cannot diverge. The scheduler (with its
+event log) and a priced :class:`~repro.simcore.trace.Timeline` come back
+on the report for chrome-trace export.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable
 
 import numpy as np
+
+from ..simcore.trace import Timeline
+from .scheduler import SchedRequest, Scheduler
 
 __all__ = [
     "Request",
@@ -91,14 +102,6 @@ def synthesize_trace(
     )
 
 
-@dataclass
-class _Live:
-    req: Request
-    remaining: int
-    start: float
-    first_token: float | None = None
-
-
 @dataclass(frozen=True)
 class ServingReport:
     """Outcome of replaying one trace."""
@@ -108,6 +111,8 @@ class ServingReport:
     first_token_times: dict[int, float]
     queue_delays: dict[int, float]
     total_tokens: int
+    scheduler: Scheduler | None = field(default=None, compare=False)
+    timeline: Timeline | None = field(default=None, compare=False)
 
     def latency(self, request: Request) -> float:
         """End-to-end latency of one request."""
@@ -140,54 +145,85 @@ def simulate_serving(
     prompt_time: Callable[[int, int], float],
     step_time: Callable[[int], float],
     max_batch: int,
+    policy: str = "fcfs",
 ) -> ServingReport:
     """Replay ``trace`` through a continuous-batching server.
 
-    ``prompt_time(batch_tokens, prompt_len)`` prices admitting one
-    request's prompt; ``step_time(batch)`` prices one decode iteration
-    generating one token for each of ``batch`` live sequences. Both come
-    from the performance model (see :func:`serving_step_times`).
+    Lifecycle decisions come from the shared
+    :class:`~repro.engine.scheduler.Scheduler` (the same class the
+    functional engine runs); this function only maps arrivals into the
+    queue and prices the scheduler's decisions. ``prompt_time(batch,
+    prompt_len)`` prices admitting one request's prompt at the running
+    batch size after admission; ``step_time(batch)`` prices one decode
+    iteration generating one token for each of ``batch`` live sequences.
+    Both come from the performance model (see :func:`serving_step_times`).
+
+    The returned report carries the scheduler (event log, orderings) and
+    a priced :class:`Timeline` — per-request queued/decode lanes plus a
+    ``server`` lane of prefill/decode iterations — exportable with
+    ``timeline.to_chrome_trace()``.
     """
     if max_batch < 1:
         raise ValueError("max_batch must be >= 1")
+    sched = Scheduler(max_batch, policy=policy)
+    timeline = Timeline()
     pending = list(trace.requests)
-    live: list[_Live] = []
+    admit_at: dict[int, float] = {}
     now = 0.0
     finish: dict[int, float] = {}
     first: dict[int, float] = {}
     delays: dict[int, float] = {}
     total_tokens = 0
 
-    while pending or live:
+    def enqueue_arrived() -> None:
+        while pending and pending[0].arrival <= now:
+            r = pending.pop(0)
+            sched.enqueue(SchedRequest(
+                request_id=r.request_id,
+                prompt_len=r.prompt_len,
+                max_new_tokens=r.gen_tokens,
+                arrival=r.arrival,
+            ))
+
+    while pending or sched.num_waiting or sched.num_active:
         # Fast-forward to the next arrival when idle.
-        if not live and pending and pending[0].arrival > now:
+        if (not sched.num_active and not sched.num_waiting and pending
+                and pending[0].arrival > now):
             now = pending[0].arrival
-        # Admit arrivals into free slots, paying their prompt passes.
-        while pending and pending[0].arrival <= now and len(live) < max_batch:
-            req = pending.pop(0)
-            delays[req.request_id] = now - req.arrival
-            now += prompt_time(len(live) + 1, req.prompt_len)
-            live.append(_Live(req=req, remaining=req.gen_tokens, start=now))
-            first[req.request_id] = now  # prompt pass yields token 1
+        enqueue_arrived()
+        # Admit one at a time, paying each prompt pass, so requests
+        # arriving *during* a prompt pass can join this round's queue.
+        while True:
+            admitted = sched.admit(max_admit=1)
+            if not admitted:
+                break
+            s = admitted[0]
+            delays[s.request_id] = now - s.arrival
+            start = now
+            now += prompt_time(sched.num_active, s.prompt_len)
+            timeline.record("server", start, now, f"prefill r{s.request_id}")
+            timeline.record(f"req-{s.request_id}", s.arrival, start, "queued")
+            admit_at[s.request_id] = now
+            first[s.request_id] = now  # prompt pass yields token 1
             total_tokens += 1
-            live[-1].remaining -= 1
-            live[-1].first_token = now
-            if live[-1].remaining == 0:
-                finish[req.request_id] = now
-                live.pop()
-        if not live:
+            if sched.record_token(s.request_id) is not None:
+                finish[s.request_id] = now
+                timeline.record(f"req-{s.request_id}", start, now, "decode")
+            enqueue_arrived()
+        if not sched.num_active:
             continue
-        # One decode iteration for every live sequence.
-        now += step_time(len(live))
-        total_tokens += len(live)
-        still: list[_Live] = []
-        for s in live:
-            s.remaining -= 1
-            if s.remaining <= 0:
-                finish[s.req.request_id] = now
-            else:
-                still.append(s)
-        live = still
+        # One decode iteration for every live sequence — priced once,
+        # whatever the batch size (the batched-forward semantics).
+        batch = sched.num_active
+        start = now
+        now += step_time(batch)
+        timeline.record("server", start, now, f"decode x{batch}")
+        total_tokens += batch
+        for rid in sched.active:
+            if sched.record_token(rid) is not None:
+                finish[rid] = now
+                timeline.record(f"req-{rid}", admit_at[rid], now, "decode")
+        sched.advance()
 
     return ServingReport(
         makespan=now,
@@ -195,6 +231,8 @@ def simulate_serving(
         first_token_times=first,
         queue_delays=delays,
         total_tokens=total_tokens,
+        scheduler=sched,
+        timeline=timeline,
     )
 
 
@@ -203,11 +241,19 @@ def serving_step_times(latency_model, *, mean_prompt: int, mean_gen: int):
 
     The decode step is priced at a representative KV length (prompt plus
     half the generation); prompt passes at their own length.
+    ``prompt_time(batch, prompt_len)`` prices the admission *at the
+    running batch size*: the engine folds one decode iteration for the
+    ``batch - 1`` sequences already live into the same pass (Sec.
+    IV-C1's hybrid prompt+token scheduling), so admitting into a busy
+    server costs more than admitting into an idle one.
     """
     kv = mean_prompt + mean_gen // 2
 
     def prompt_time(batch: int, prompt_len: int) -> float:
         k, c = latency_model.step_time(1, prompt_len, prompt_len)
+        if batch > 1:  # the live batch rides along in the same iteration
+            dk, dc = latency_model.step_time(batch - 1, 1, kv)
+            k, c = k + dk, c + dc
         return k + c
 
     def step_time(batch: int) -> float:

@@ -6,19 +6,34 @@ the deployment space the paper's systems expose — tensor-parallel degree
 (powers of two dividing the head count), pipeline depth, hybrid-schedule
 prompt factor, and batch size — and returns the best throughput whose
 per-token latency meets the SLA.
+
+:func:`tune_serving_deployment` lifts the same search to the serving
+level: instead of a single steady-state workload, it replays an arrival
+trace through :func:`~repro.engine.serving_sim.simulate_serving` (the
+shared-scheduler analytical backend) for every candidate and optimizes
+sustained tokens/sec subject to a tail time-to-first-token SLA — the
+quantity an operator actually provisions against.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from ..hardware.topology import ClusterSpec
 from ..model.config import ModelConfig
 from .latency import DenseLatencyModel, Workload
 from .offload import max_batch_size
+from .serving_sim import WorkloadTrace, serving_step_times, simulate_serving
 from .throughput import candidate_batches
 
-__all__ = ["TuningResult", "tune_dense_deployment"]
+__all__ = [
+    "TuningResult",
+    "ServingTuningResult",
+    "tune_dense_deployment",
+    "tune_serving_deployment",
+]
 
 
 @dataclass(frozen=True)
@@ -107,5 +122,81 @@ def tune_dense_deployment(
         raise ValueError(
             f"no feasible deployment of {config.name} on {cluster.name} "
             f"meets the constraints (sla={latency_sla}, max_gpus={max_gpus})"
+        )
+    return best
+
+
+@dataclass(frozen=True)
+class ServingTuningResult:
+    """Winning serving configuration for one trace."""
+
+    tp: int
+    max_batch: int
+    policy: str
+    tokens_per_second: float
+    ttft_p99: float
+    latency_p99: float
+    num_gpus: int
+
+    @property
+    def tokens_per_second_per_gpu(self) -> float:
+        """Cost-normalized sustained throughput."""
+        return self.tokens_per_second / self.num_gpus
+
+
+def tune_serving_deployment(
+    config: ModelConfig,
+    cluster: ClusterSpec,
+    trace: WorkloadTrace,
+    *,
+    ttft_sla: float | None = None,
+    max_gpus: int | None = None,
+    policy: str = "fcfs",
+) -> ServingTuningResult:
+    """Search TP x max_batch for the best trace-level throughput whose
+    P99 time-to-first-token meets ``ttft_sla`` (seconds; None = no bound).
+
+    Each candidate replays ``trace`` through the shared-scheduler
+    simulator priced by a :class:`DenseLatencyModel` (TP only — decode
+    pipelining is not priced at serving granularity). Raises
+    ``ValueError`` when no candidate meets the SLA.
+    """
+    max_gpus = cluster.num_gpus if max_gpus is None else max_gpus
+    if max_gpus < 1:
+        raise ValueError("max_gpus must be >= 1")
+    mean_prompt = max(1, round(float(np.mean(
+        [r.prompt_len for r in trace.requests]))))
+    mean_gen = max(1, round(float(np.mean(
+        [r.gen_tokens for r in trace.requests]))))
+    seq = max(r.prompt_len + r.gen_tokens for r in trace.requests)
+
+    best: ServingTuningResult | None = None
+    for tp in _tp_candidates(config, cluster, max_gpus):
+        cap = max_batch_size(config, cluster, tp=tp, pp=1, seq_len=seq)
+        if cap < 1:
+            continue
+        model = DenseLatencyModel(config, cluster, tp=tp)
+        prompt_t, step_t = serving_step_times(model, mean_prompt=mean_prompt,
+                                              mean_gen=mean_gen)
+        for max_batch in candidate_batches(cap):
+            rep = simulate_serving(trace, prompt_time=prompt_t,
+                                   step_time=step_t, max_batch=max_batch,
+                                   policy=policy)
+            ttft = rep.ttft_percentile(trace, 99)
+            if ttft_sla is not None and ttft > ttft_sla:
+                continue
+            cand = ServingTuningResult(
+                tp=tp, max_batch=max_batch, policy=policy,
+                tokens_per_second=rep.tokens_per_second,
+                ttft_p99=ttft,
+                latency_p99=rep.latency_percentile(trace, 99),
+                num_gpus=tp,
+            )
+            if best is None or cand.tokens_per_second > best.tokens_per_second:
+                best = cand
+    if best is None:
+        raise ValueError(
+            f"no serving deployment of {config.name} on {cluster.name} "
+            f"meets ttft_sla={ttft_sla} within {max_gpus} GPUs"
         )
     return best

@@ -25,7 +25,7 @@ from .gating import (
 )
 from .kvcache import HostOffloadKVCache, KVCache
 from .moe import MoELayer
-from .paged_kv import BlockAllocator, OutOfBlocks, PagedKVCache
+from .paged_kv import BlockAllocator, OutOfBlocks, PagedKVCache, blocks_needed
 from .ragged import RaggedDecoder
 from .sampling import SamplingConfig, sample_next_token
 
@@ -44,6 +44,7 @@ __all__ = [
     "BlockAllocator",
     "OutOfBlocks",
     "PagedKVCache",
+    "blocks_needed",
     "RaggedDecoder",
     "SamplingConfig",
     "sample_next_token",

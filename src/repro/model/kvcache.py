@@ -74,6 +74,13 @@ class KVCache:
                 self._k[i] = self._k[i][:, :, :max_len].copy()
                 self._v[i] = self._v[i][:, :, :max_len].copy()
 
+    def free(self) -> None:
+        """Drop every cached tensor — the uniform retirement hook shared
+        with :class:`~repro.model.paged_kv.PagedKVCache` so engines can
+        release any cache flavor the same way."""
+        self._k = [None] * self.num_layers
+        self._v = [None] * self.num_layers
+
     def _check_layer(self, layer: int) -> None:
         if not 0 <= layer < self.num_layers:
             raise IndexError(f"layer {layer} out of range [0, {self.num_layers})")
@@ -136,6 +143,12 @@ class HostOffloadKVCache(KVCache):
         if layer in self._host:
             return self._host[layer][0].shape[2]
         return super().seq_len(layer)
+
+    def free(self) -> None:
+        """Drop device *and* host copies (traffic counters survive so a
+        retiring engine can still account the request's PCIe bytes)."""
+        super().free()
+        self._host.clear()
 
     @property
     def device_nbytes(self) -> int:

@@ -18,7 +18,18 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["OutOfBlocks", "BlockAllocator", "PagedKVCache"]
+__all__ = ["OutOfBlocks", "BlockAllocator", "PagedKVCache", "blocks_needed"]
+
+
+def blocks_needed(seq_len: int, *, block_size: int, num_layers: int) -> int:
+    """Pool blocks a ``seq_len``-position sequence occupies across all
+    layers — the quantity an admission controller reserves against the
+    shared pool (Sec. IV-B capacity gating)."""
+    if seq_len < 0:
+        raise ValueError("seq_len must be >= 0")
+    if block_size < 1 or num_layers < 1:
+        raise ValueError("block_size and num_layers must be >= 1")
+    return num_layers * -(-seq_len // block_size)
 
 
 class OutOfBlocks(RuntimeError):

@@ -1,18 +1,30 @@
-"""Ragged batched decoding: mixed-length prompts in one forward pass.
+"""Ragged batched decoding: mixed-length sequences in one forward pass,
+with rows joining and leaving mid-flight.
 
-A serving engine rarely sees equal-length prompts. The standard trick is
-to right-pad the batch, carry a validity mask over the padded KV slots,
-and give each row its own position timeline — then decode all rows one
-token per step, regardless of how their prompt lengths differ.
+A serving engine rarely sees equal-length prompts, and under continuous
+batching (Sec. IV-C1's dynamic queue) the batch *membership* changes
+every few steps: finished sequences leave, queued ones join. The decoder
+therefore keeps one KV cache **per row** — built by a pluggable
+``cache_factory``, so rows can live in contiguous buffers
+(:class:`~repro.model.kvcache.KVCache`), block-granular paged storage
+(:class:`~repro.model.paged_kv.PagedKVCache` over a shared pool), or
+host-offloadable caches — and assembles each step's attention by
+gathering every row's cache, right-padding to the longest, and masking.
 
-:class:`RaggedDecoder` implements this over the functional model and is
-tested for *exact* agreement with running each prompt alone: padding,
-masking and per-row positions must be invisible in the outputs. It works
-for both learned and rotary position encodings (learned embeddings index
-per-row positions; RoPE rotates at per-row positions).
+:meth:`add_rows` prefills new sequences into the running batch (one
+forward for all joiners), :meth:`step` decodes one token for every row
+in **one** forward regardless of batch composition, and
+:meth:`drop_rows` retires rows, freeing their cache storage. The legacy
+fixed-batch API (:meth:`prefill` once + :meth:`step`) is preserved.
+
+Tested for *exact* agreement with running each prompt alone: padding,
+masking, per-row positions and cache layout must be invisible in the
+outputs, for both learned and rotary position encodings.
 """
 
 from __future__ import annotations
+
+import itertools
 
 import numpy as np
 
@@ -31,59 +43,128 @@ from .kvcache import KVCache
 __all__ = ["RaggedDecoder"]
 
 
-class RaggedDecoder:
-    """Stateful batched decoder over right-padded, masked sequences."""
+class _Row:
+    """One live sequence: its cache and the real tokens stored so far."""
 
-    def __init__(self, model: DenseTransformer) -> None:
+    __slots__ = ("row_id", "cache", "length")
+
+    def __init__(self, row_id: int, cache, length: int) -> None:
+        self.row_id = row_id
+        self.cache = cache
+        self.length = length
+
+
+class RaggedDecoder:
+    """Stateful batched decoder over dynamically composed, masked rows."""
+
+    def __init__(self, model: DenseTransformer, *, cache_factory=None) -> None:
+        """``cache_factory()`` builds one row's KV cache (default: a
+        contiguous :class:`KVCache`); pass a factory closing over a
+        shared :class:`~repro.model.paged_kv.BlockAllocator` for paged
+        rows."""
         self.model = model
-        self._cache: KVCache | None = None
-        self._key_valid: np.ndarray | None = None  # (b, T) over cached slots
-        self._key_pos: np.ndarray | None = None  # (b, T) per-row positions
-        self._row_len: np.ndarray | None = None  # (b,) real tokens so far
+        self._cache_factory = cache_factory or (
+            lambda: KVCache(model.config.layers)
+        )
+        # Layer weights come through ``model.layer_weights(i)`` when the
+        # model manages residency (e.g. a layer-streamed executor), else
+        # straight from ``model.layers``.
+        self._layer = getattr(model, "layer_weights", None) or (
+            lambda i: model.layers[i]
+        )
+        self._rows: list[_Row] = []
+        self._row_ids = itertools.count()
+        self._prefilled = False
+        self.forward_calls = 0
 
     @property
     def batch(self) -> int:
-        """Rows being decoded (0 before prefill)."""
-        return 0 if self._row_len is None else self._row_len.shape[0]
+        """Rows currently being decoded."""
+        return len(self._rows)
+
+    @property
+    def row_ids(self) -> list[int]:
+        """Stable ids of the live rows, in batch order."""
+        return [r.row_id for r in self._rows]
+
+    def _find(self, row_id: int) -> _Row:
+        for row in self._rows:
+            if row.row_id == row_id:
+                return row
+        raise KeyError(f"row {row_id} is not live")
+
+    def row_cache(self, row_id: int):
+        """The KV cache backing one live row."""
+        return self._find(row_id).cache
+
+    def row_len(self, row_id: int) -> int:
+        """Real tokens cached for one live row."""
+        return self._find(row_id).length
 
     # -- internals -----------------------------------------------------------
 
-    def _attention(self, x, lw, layer_idx, positions):
+    def _attention(self, x, lw, layer_idx, rows, positions, new_lens):
+        """One attention block over ``rows``; appends each row's valid
+        slice of new K/V to that row's cache, then attends against the
+        gathered, right-padded union."""
         cfg = self.model.config
         qkv = linear(layer_norm(x, lw.ln1_g, lw.ln1_b), lw.w_qkv, lw.b_qkv)
         q, k, v = (split_heads(t, cfg.heads) for t in np.split(qkv, 3, axis=-1))
         if cfg.pos_encoding == "rotary":
             q = apply_rotary(q, positions=positions)
             k = apply_rotary(k, positions=positions)
-        k, v = self._cache.append(layer_idx, k, v)
+        ks, vs = [], []
+        for i, row in enumerate(rows):
+            kf, vf = row.cache.append(
+                layer_idx, k[i : i + 1, :, : new_lens[i]],
+                v[i : i + 1, :, : new_lens[i]],
+            )
+            ks.append(kf)
+            vs.append(vf)
+        lens = np.array([t.shape[2] for t in ks])
+        b, max_len = len(rows), int(lens.max())
+        heads, hd = ks[0].shape[1], ks[0].shape[3]
+        kb = np.zeros((b, heads, max_len, hd), dtype=ks[0].dtype)
+        vb = np.zeros_like(kb)
+        for i in range(b):
+            kb[i, :, : lens[i]] = ks[i][0]
+            vb[i, :, : lens[i]] = vs[i][0]
+        idx = np.arange(max_len)
+        key_valid = idx[None, :] < lens[:, None]
+        # Per-row caches hold only real tokens, so key positions are
+        # simply 0..len-1; padded slots carry in-range ids but are masked.
+        key_pos = np.broadcast_to(idx, (b, max_len))
         ctx = scaled_dot_product_attention(
-            q, k, v,
+            q, kb, vb,
             causal=True,
-            key_mask=self._key_valid,
+            key_mask=key_valid,
             query_positions=positions,
-            key_positions=self._key_pos,
+            key_positions=key_pos,
         )
         proj = linear(merge_heads(ctx), lw.w_out)
         return bias_residual(proj, lw.b_out, x)
 
-    def _forward(self, ids: np.ndarray, positions: np.ndarray) -> np.ndarray:
+    def _forward(self, ids, positions, rows, new_lens) -> np.ndarray:
+        self.forward_calls += 1
         model = self.model
         x = model.wte[ids]
         if model.config.pos_encoding == "learned":
             x = x + model.wpe[positions]
-        for i, lw in enumerate(model.layers):
-            x = self._attention(x, lw, i, positions)
+        for i in range(model.config.layers):
+            lw = self._layer(i)
+            x = self._attention(x, lw, i, rows, positions, new_lens)
             x = model.mlp_block(x, lw, i)
         x = layer_norm(x, model.lnf_g, model.lnf_b)
         return x @ model.wte.T
 
     # -- public API ----------------------------------------------------------
 
-    def prefill(self, prompts: list[np.ndarray]) -> np.ndarray:
-        """Process mixed-length prompts; returns each row's next-token
-        logits, shape ``(batch, vocab)``."""
-        if self._cache is not None:
-            raise RuntimeError("prefill may only be called once")
+    def add_rows(self, prompts: list[np.ndarray]) -> tuple[list[int], np.ndarray]:
+        """Prefill new sequences into the batch (one forward for all).
+
+        Returns ``(row_ids, logits)``: stable ids for the new rows and
+        each new row's next-token logits, shape ``(len(prompts), vocab)``.
+        """
         if not prompts:
             raise ValueError("need at least one prompt")
         lengths = np.array([np.asarray(p).size for p in prompts])
@@ -94,35 +175,62 @@ class RaggedDecoder:
         for i, p in enumerate(prompts):
             ids[i, : lengths[i]] = np.asarray(p).ravel()
         idx = np.arange(max_len)
-        valid = idx[None, :] < lengths[:, None]
         # Right padding keeps real tokens at their solo positions 0..len-1;
         # pads carry in-range position ids but are masked out of attention.
         positions = np.broadcast_to(idx, (b, max_len)).copy()
+        rows = [
+            _Row(next(self._row_ids), self._cache_factory(), int(n))
+            for n in lengths
+        ]
+        try:
+            logits = self._forward(ids, positions, rows, lengths)
+        except Exception:
+            for row in rows:  # return any partially allocated blocks
+                free = getattr(row.cache, "free", None)
+                if free is not None:
+                    free()
+            raise
+        self._rows.extend(rows)
+        return [r.row_id for r in rows], logits[np.arange(b), lengths - 1]
 
-        self._cache = KVCache(self.model.config.layers)
-        self._key_valid = valid
-        self._key_pos = positions
-        self._row_len = lengths.copy()
-        logits = self._forward(ids, positions)
-        return logits[np.arange(b), lengths - 1]
+    def prefill(self, prompts: list[np.ndarray]) -> np.ndarray:
+        """Fixed-batch entry point: process mixed-length prompts; returns
+        each row's next-token logits, shape ``(batch, vocab)``. May only
+        be called once — use :meth:`add_rows` for dynamic batches."""
+        if self._prefilled or self._rows:
+            raise RuntimeError("prefill may only be called once; use "
+                               "add_rows to grow a live batch")
+        _, logits = self.add_rows(prompts)
+        self._prefilled = True
+        return logits
 
     def step(self, tokens: np.ndarray) -> np.ndarray:
-        """Append one token per row; returns next-token logits ``(b, vocab)``."""
-        if self._cache is None:
-            raise RuntimeError("call prefill first")
+        """Append one token per row — **one forward** for the whole batch;
+        returns next-token logits ``(batch, vocab)`` in row order."""
+        if not self._rows:
+            raise RuntimeError("call prefill (or add_rows) first")
         tokens = np.asarray(tokens, dtype=int).reshape(-1, 1)
         if tokens.shape[0] != self.batch:
             raise ValueError(f"expected {self.batch} tokens")
-        positions = self._row_len.reshape(-1, 1).copy()
+        positions = np.array([[row.length] for row in self._rows])
         if int(positions.max()) >= self.model.config.max_seq:
             raise ValueError("sequence exceeds max_seq")
-        self._key_valid = np.concatenate(
-            [self._key_valid, np.ones((self.batch, 1), dtype=bool)], axis=1
+        logits = self._forward(
+            tokens, positions, self._rows, np.ones(self.batch, dtype=int)
         )
-        self._key_pos = np.concatenate([self._key_pos, positions], axis=1)
-        logits = self._forward(tokens, positions)
-        self._row_len = self._row_len + 1
+        for row in self._rows:
+            row.length += 1
         return logits[:, -1]
+
+    def drop_rows(self, row_ids: list[int]) -> None:
+        """Retire rows and free their cache storage (paged rows return
+        their blocks to the shared pool immediately)."""
+        for rid in row_ids:
+            row = self._find(rid)
+            free = getattr(row.cache, "free", None)
+            if free is not None:
+                free()
+            self._rows.remove(row)
 
     def generate(self, prompts: list[np.ndarray], num_tokens: int) -> list[np.ndarray]:
         """Greedy-decode ``num_tokens`` per row; returns full sequences.

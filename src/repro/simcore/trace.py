@@ -40,12 +40,23 @@ class Timeline:
 
     def __init__(self) -> None:
         self._lanes: dict[str, list[Span]] = {}
+        self._instants: dict[str, list[tuple[float, str]]] = {}
 
     def record(self, lane: str, start: float, end: float, label: str = "") -> Span:
         """Add a span to ``lane`` and return it."""
         span = Span(start, end, label)
         insort(self._lanes.setdefault(lane, []), span)
         return span
+
+    def record_instant(self, lane: str, t: float, label: str = "") -> None:
+        """Mark a point event on ``lane`` (a scheduler decision, an
+        arrival) — exported as a Chrome *instant* event, not a span, so
+        it never affects busy time or overlap checks."""
+        insort(self._instants.setdefault(lane, []), (t, label))
+
+    def instants(self, lane: str) -> list[tuple[float, str]]:
+        """Point events of one lane, ordered by time."""
+        return list(self._instants.get(lane, []))
 
     def lanes(self) -> list[str]:
         """Lane names in insertion-independent (sorted) order."""
@@ -114,8 +125,9 @@ class Timeline:
         if time_unit <= 0:
             raise ValueError("time_unit must be positive")
         events = []
-        for pid, lane in enumerate(self.lanes()):
-            for s in self._lanes[lane]:
+        lane_order = sorted(set(self._lanes) | set(self._instants))
+        for pid, lane in enumerate(lane_order):
+            for s in self._lanes.get(lane, []):
                 events.append(
                     {
                         "name": s.label or lane,
@@ -123,6 +135,19 @@ class Timeline:
                         "ph": "X",  # complete event
                         "ts": s.start / time_unit,
                         "dur": s.duration / time_unit,
+                        "pid": 0,
+                        "tid": pid,
+                        "args": {"lane": lane},
+                    }
+                )
+            for t, label in self._instants.get(lane, []):
+                events.append(
+                    {
+                        "name": label or lane,
+                        "cat": "sim",
+                        "ph": "i",  # instant event
+                        "ts": t / time_unit,
+                        "s": "t",  # thread-scoped marker
                         "pid": 0,
                         "tid": pid,
                         "args": {"lane": lane},

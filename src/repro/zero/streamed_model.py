@@ -78,6 +78,45 @@ class StreamedTransformer:
         """Streamed layers currently held (pinned layers excluded)."""
         return list(self._resident)
 
+    # -- decoder-facing surface ------------------------------------------
+    # RaggedDecoder / GenerationSession drive any model exposing config,
+    # embeddings, final norm, mlp_block and a per-layer weight accessor;
+    # delegating here lets the batched serving runtime execute directly
+    # over streamed weights, with residency enforced per layer touch.
+
+    @property
+    def config(self):
+        """The wrapped model's configuration."""
+        return self.model.config
+
+    @property
+    def wte(self):
+        """Token embedding (resident; only layer blocks stream)."""
+        return self.model.wte
+
+    @property
+    def wpe(self):
+        """Position embedding (resident)."""
+        return self.model.wpe
+
+    @property
+    def lnf_g(self):
+        return self.model.lnf_g
+
+    @property
+    def lnf_b(self):
+        return self.model.lnf_b
+
+    def layer_weights(self, layer: int):
+        """Fetch ``layer`` into the residency window and return its
+        weights — the accessor the ragged decoder calls per layer."""
+        self._ensure_resident(layer)
+        return self.model.layers[layer]
+
+    def mlp_block(self, x, lw, layer_idx):
+        """Delegate to the wrapped model's MLP block."""
+        return self.model.mlp_block(x, lw, layer_idx)
+
     # -- execution -------------------------------------------------------
 
     def forward(self, token_ids: np.ndarray, cache: KVCache | None = None) -> np.ndarray:

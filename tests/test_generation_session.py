@@ -144,6 +144,74 @@ class TestValidation:
             GenerationSession(model).result(123)
 
 
+class TestBatchedDecodeRuntime:
+    """The refactored execution path: one forward per decode step, over
+    paged KV blocks that free on retirement."""
+
+    def test_one_forward_per_decode_step(self, model):
+        session = GenerationSession(model, max_concurrency=4)
+        for i in range(4):
+            session.submit(np.array([i + 1, i + 2]), max_new_tokens=5)
+        before = session.forward_calls
+        session.step()  # admits 4 (one ragged prefill) + decodes (one fwd)
+        assert session.forward_calls - before == 2
+        while session.num_active or session.num_waiting:
+            b = session.forward_calls
+            session.step()
+            assert session.forward_calls - b == 1  # no admissions left
+
+    def test_total_forwards_independent_of_batch_size(self, model):
+        session = GenerationSession(model, max_concurrency=4)
+        gen = 6
+        for i in range(4):
+            session.submit(np.array([i + 1]), max_new_tokens=gen)
+        session.run()
+        # 1 ragged prefill + (gen - 1) batched decode steps, regardless
+        # of the 4-wide batch; the old per-request loop needed 4 * gen.
+        assert session.forward_calls == gen
+
+    def test_paged_blocks_freed_on_retirement(self, model):
+        session = GenerationSession(model, max_concurrency=2, kv_block_size=4)
+        session.submit(np.array([1, 2, 3]), max_new_tokens=3)
+        session.submit(np.array([4]), max_new_tokens=6)
+        session.step()
+        assert session.kv_blocks_in_use > 0
+        session.run()
+        assert session.kv_blocks_in_use == 0  # every block back in the pool
+
+    def test_kv_capacity_gates_admission_without_reordering(self, model):
+        # Pool sized for exactly one request's reservation (peak 5
+        # positions -> 1 block/layer): the second must wait for the
+        # first to retire, not fail or jump the queue.
+        session = GenerationSession(model, max_concurrency=4,
+                                    kv_pool_blocks=CFG.layers)
+        a = session.submit(np.array([1, 2]), max_new_tokens=3)
+        b = session.submit(np.array([3, 4]), max_new_tokens=3)
+        session.step()
+        assert session.num_active == 1 and session.num_waiting == 1
+        done = session.run()
+        assert session.scheduler.admission_order == [a, b]
+        for rid, p in [(a, np.array([1, 2])), (b, np.array([3, 4]))]:
+            np.testing.assert_array_equal(
+                done[rid].output_ids, model.generate(p[None, :], 3)[0])
+
+    def test_request_larger_than_pool_rejected_at_submit(self, model):
+        session = GenerationSession(model, max_concurrency=2,
+                                    kv_pool_blocks=1)
+        with pytest.raises(ValueError, match="KV blocks"):
+            session.submit(np.arange(1, 20), max_new_tokens=10)
+
+    def test_shortest_prompt_policy_in_session(self, model):
+        session = GenerationSession(model, max_concurrency=1,
+                                    policy="shortest_prompt")
+        long = session.submit(np.array([1, 2, 3, 4, 5]), max_new_tokens=2)
+        short = session.submit(np.array([9]), max_new_tokens=2)
+        session.run()
+        # Both are queued before the first step; the short prompt wins
+        # the single slot despite being submitted second.
+        assert session.scheduler.admission_order == [short, long]
+
+
 class TestIdleKVOffload:
     """Sec. IV-C2's policy inside the serving loop: park idle caches on
     the host; outputs must be unchanged and traffic accounted."""
@@ -176,3 +244,18 @@ class TestIdleKVOffload:
             np.testing.assert_array_equal(
                 done[rid].output_ids, model.generate(p[None, :], 5)[0]
             )
+
+    def test_counters_cumulative_across_retirement(self, model):
+        """Retiring a request must bank its traffic, not drop it."""
+        s = GenerationSession(model, offload_idle_kv=True, max_concurrency=2)
+        s.submit(np.array([1, 2]), max_new_tokens=3)
+        s.submit(np.array([5, 6, 7]), max_new_tokens=4)
+        s.step()
+        s.step()
+        mid_off, mid_fetch = s.kv_bytes_offloaded, s.kv_bytes_fetched
+        assert mid_off > 0 and mid_fetch > 0
+        s.run()
+        assert s.num_active == 0  # everything retired...
+        assert s.kv_bytes_offloaded >= mid_off  # ...but totals survived
+        assert s.kv_bytes_fetched >= mid_fetch
+        assert s.kv_bytes_offloaded > 0 and s.kv_bytes_fetched > 0

@@ -1,0 +1,213 @@
+"""Tests for the shared request scheduler: policies, backfill, and the
+functional-vs-analytical decision-equivalence guarantee."""
+
+import numpy as np
+import pytest
+
+from repro.engine import (
+    GenerationSession,
+    Request,
+    SchedRequest,
+    Scheduler,
+    WorkloadTrace,
+    simulate_serving,
+)
+from repro.model import DenseTransformer, ModelConfig
+
+
+def _req(rid, prompt_len=4, max_new=3, arrival=0.0):
+    return SchedRequest(request_id=rid, prompt_len=prompt_len,
+                        max_new_tokens=max_new, arrival=arrival)
+
+
+class TestAdmissionPolicies:
+    def test_fcfs_admits_in_enqueue_order(self):
+        s = Scheduler(2, policy="fcfs")
+        for rid, plen in [(0, 9), (1, 1), (2, 5)]:
+            s.enqueue(_req(rid, prompt_len=plen))
+        admitted = s.admit()
+        assert [r.request_id for r in admitted] == [0, 1]
+        assert s.num_waiting == 1
+
+    def test_shortest_prompt_reorders(self):
+        s = Scheduler(2, policy="shortest_prompt")
+        for rid, plen in [(0, 9), (1, 1), (2, 5)]:
+            s.enqueue(_req(rid, prompt_len=plen))
+        admitted = s.admit()
+        assert [r.request_id for r in admitted] == [1, 2]
+
+    def test_shortest_prompt_ties_break_by_enqueue_order(self):
+        s = Scheduler(3, policy="shortest_prompt")
+        for rid in (7, 3, 5):
+            s.enqueue(_req(rid, prompt_len=4))
+        assert [r.request_id for r in s.admit()] == [7, 3, 5]
+
+    def test_custom_policy_callable(self):
+        longest = lambda q: max(q, key=lambda r: r.prompt_len)  # noqa: E731
+        s = Scheduler(1, policy=longest)
+        for rid, plen in [(0, 2), (1, 8)]:
+            s.enqueue(_req(rid, prompt_len=plen))
+        assert [r.request_id for r in s.admit()] == [1]
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="unknown policy"):
+            Scheduler(1, policy="lifo")
+
+
+class TestLifecycle:
+    def test_length_retirement_frees_slot(self):
+        s = Scheduler(1)
+        s.enqueue(_req(0, max_new=2))
+        s.enqueue(_req(1, max_new=1))
+        s.admit()
+        assert s.record_token(0) is None
+        assert s.record_token(0) == "length"
+        assert s.num_active == 0
+        # The freed slot is immediately fillable (same-step backfill).
+        assert [r.request_id for r in s.admit()] == [1]
+
+    def test_eos_retirement(self):
+        s = Scheduler(1, eos_token=42)
+        s.enqueue(_req(0, max_new=10))
+        s.admit()
+        assert s.record_token(0, token=7) is None
+        assert s.record_token(0, token=42) == "eos"
+        assert s.retirement_order == [0]
+
+    def test_record_token_requires_active(self):
+        s = Scheduler(1)
+        s.enqueue(_req(0))
+        with pytest.raises(KeyError):
+            s.record_token(0)
+
+    def test_duplicate_enqueue_rejected(self):
+        s = Scheduler(1)
+        s.enqueue(_req(0))
+        with pytest.raises(ValueError, match="already"):
+            s.enqueue(_req(0))
+
+    def test_can_admit_veto_stops_without_skipping(self):
+        s = Scheduler(4)
+        for rid, plen in [(0, 8), (1, 1)]:
+            s.enqueue(_req(rid, prompt_len=plen))
+        # Veto the head of the queue: admission must stop, not admit #1
+        # over #0 (capacity pressure may not reorder FCFS).
+        admitted = s.admit(can_admit=lambda r: r.prompt_len < 4)
+        assert admitted == []
+        assert s.num_waiting == 2
+
+    def test_event_log_and_orderings(self):
+        s = Scheduler(2)
+        s.enqueue(_req(0, max_new=1))
+        s.enqueue(_req(1, max_new=2))
+        s.admit()
+        s.record_token(0)
+        s.record_token(1)
+        s.advance()
+        s.record_token(1)
+        kinds = [(e.kind, e.request_id) for e in s.events]
+        assert kinds == [("enqueue", 0), ("enqueue", 1), ("admit", 0),
+                         ("admit", 1), ("retire", 0), ("retire", 1)]
+        assert s.admission_order == [0, 1]
+        assert s.retirement_order == [0, 1]
+        retire_steps = [e.step for e in s.events if e.kind == "retire"]
+        assert retire_steps == [0, 1]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Scheduler(0)
+        with pytest.raises(ValueError):
+            SchedRequest(0, prompt_len=0, max_new_tokens=1)
+        with pytest.raises(ValueError):
+            SchedRequest(0, prompt_len=1, max_new_tokens=0)
+
+
+class TestTimelineExport:
+    def test_queued_and_active_spans(self):
+        s = Scheduler(1)
+        s.enqueue(_req(0, max_new=1))
+        s.enqueue(_req(1, max_new=1))
+        s.admit()
+        s.record_token(0)
+        s.advance()
+        s.admit()
+        s.record_token(1)
+        tl = s.to_timeline()
+        spans1 = tl.spans("request-1")
+        labels = [sp.label for sp in spans1]
+        assert labels == ["queued", "active"]
+        assert spans1[0].start == 0 and spans1[0].end == 1
+        events = tl.to_chrome_trace()
+        assert any(e["ph"] == "i" and e["name"].startswith("retire")
+                   for e in events)
+        assert any(e["ph"] == "X" for e in events)
+
+
+# -- functional vs analytical equivalence (the tentpole guarantee) ----------
+
+EQ_CFG = ModelConfig(name="sched-eq", hidden=32, layers=2, heads=4, vocab=59,
+                     max_seq=32)
+
+
+@pytest.fixture(scope="module")
+def eq_model():
+    return DenseTransformer(EQ_CFG, seed=11)
+
+
+def _shared_trace(seed, n=10):
+    """A burst trace (all arrived at t=0) with varied prompt/gen lengths."""
+    rng = np.random.default_rng(seed)
+    return WorkloadTrace(tuple(
+        Request(i, 0.0, int(rng.integers(1, 8)), int(rng.integers(1, 6)))
+        for i in range(n)
+    ))
+
+
+def _functional_scheduler(trace, model, policy, max_batch):
+    session = GenerationSession(model, max_concurrency=max_batch,
+                                policy=policy)
+    rng = np.random.default_rng(0)
+    rids = {}
+    for r in trace.requests:
+        prompt = rng.integers(0, model.config.vocab, size=r.prompt_len)
+        rids[session.submit(prompt, max_new_tokens=r.gen_tokens)] = r
+    session.run()
+    return session.scheduler
+
+
+@pytest.mark.parametrize("policy", ["fcfs", "shortest_prompt"])
+@pytest.mark.parametrize("seed,max_batch", [(0, 3), (1, 2), (2, 4)])
+def test_functional_and_analytical_orderings_identical(
+        eq_model, policy, seed, max_batch):
+    """Both backends consume the same Scheduler, so on a shared trace the
+    admission and retirement orderings are identical."""
+    trace = _shared_trace(seed)
+    functional = _functional_scheduler(trace, eq_model, policy, max_batch)
+    rep = simulate_serving(trace, prompt_time=lambda b, p: 0.3 + 0.01 * p,
+                           step_time=lambda b: 0.1, max_batch=max_batch,
+                           policy=policy)
+    analytical = rep.scheduler
+    assert functional.admission_order == analytical.admission_order
+    assert functional.retirement_order == analytical.retirement_order
+    # Retirement reasons agree too (all length-driven here).
+    f_reasons = {e.request_id: e.reason for e in functional.events
+                 if e.kind == "retire"}
+    a_reasons = {e.request_id: e.reason for e in analytical.events
+                 if e.kind == "retire"}
+    assert f_reasons == a_reasons
+
+
+def test_event_streams_identical_when_no_prefill_retirement(eq_model):
+    """With every request needing >= 2 tokens, even the full event
+    streams (kind, request id) coincide step for step."""
+    rng = np.random.default_rng(5)
+    trace = WorkloadTrace(tuple(
+        Request(i, 0.0, int(rng.integers(1, 6)), int(rng.integers(2, 6)))
+        for i in range(8)
+    ))
+    functional = _functional_scheduler(trace, eq_model, "fcfs", 3)
+    rep = simulate_serving(trace, prompt_time=lambda b, p: 1.0,
+                           step_time=lambda b: 0.1, max_batch=3)
+    f_events = [(e.step, e.kind, e.request_id) for e in functional.events]
+    a_events = [(e.step, e.kind, e.request_id) for e in rep.scheduler.events]
+    assert f_events == a_events

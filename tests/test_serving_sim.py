@@ -116,6 +116,32 @@ class TestServingSimulator:
                              max_batch=0)
 
 
+class TestSchedulerReplay:
+    """The analytical path replays the shared Scheduler and exposes it."""
+
+    def test_report_carries_scheduler_and_timeline(self):
+        trace = WorkloadTrace((Request(0, 0.0, 8, 3), Request(1, 0.0, 4, 2)))
+        prompt_t, step_t = unit_costs()
+        rep = simulate_serving(trace, prompt_time=prompt_t, step_time=step_t,
+                               max_batch=2)
+        assert rep.scheduler.admission_order == [0, 1]
+        assert sorted(rep.scheduler.retirement_order) == [0, 1]
+        events = rep.timeline.to_chrome_trace()
+        names = {e["name"] for e in events}
+        assert any(n.startswith("prefill") for n in names)
+        assert any(n.startswith("decode") for n in names)
+
+    def test_policy_changes_admission_order(self):
+        trace = WorkloadTrace((Request(0, 0.0, 30, 2), Request(1, 0.0, 2, 2)))
+        prompt_t, step_t = unit_costs()
+        fcfs = simulate_serving(trace, prompt_time=prompt_t, step_time=step_t,
+                                max_batch=1)
+        sp = simulate_serving(trace, prompt_time=prompt_t, step_time=step_t,
+                              max_batch=1, policy="shortest_prompt")
+        assert fcfs.scheduler.admission_order == [0, 1]
+        assert sp.scheduler.admission_order == [1, 0]
+
+
 class TestModelIntegration:
     def test_serving_with_dense_latency_model(self):
         model = DenseLatencyModel(DENSE_ZOO["gpt-13b"], dgx_a100_cluster(1),
@@ -130,6 +156,20 @@ class TestModelIntegration:
         # Queueing pushes P99 above P50 under this arrival pressure.
         assert rep.latency_percentile(trace, 99) >= rep.latency_percentile(
             trace, 50)
+
+    def test_prompt_time_prices_running_batch(self):
+        """Admitting into a busy server folds one decode iteration for the
+        live batch into the prompt pass — cost must grow with batch."""
+        model = DenseLatencyModel(DENSE_ZOO["gpt-13b"], dgx_a100_cluster(1),
+                                  tp=4)
+        prompt_t, step_t = serving_step_times(model, mean_prompt=128,
+                                              mean_gen=16)
+        idle = prompt_t(1, 128)
+        busy = prompt_t(8, 128)
+        assert busy > idle
+        # The increment is exactly one decode iteration for the 7 riders.
+        assert busy - idle == pytest.approx(
+            sum(model.step_time(7, 1, 128 + 8)))
 
 
 @given(

@@ -2,7 +2,13 @@
 
 import pytest
 
-from repro.engine import DenseLatencyModel, Workload, tune_dense_deployment
+from repro.engine import (
+    DenseLatencyModel,
+    Workload,
+    synthesize_trace,
+    tune_dense_deployment,
+    tune_serving_deployment,
+)
 from repro.hardware import dgx_a100_cluster
 from repro.model import DENSE_ZOO
 
@@ -75,3 +81,49 @@ class TestTuner:
         assert r.tokens_per_second_per_gpu == pytest.approx(
             r.tokens_per_second / r.num_gpus
         )
+
+
+class TestServingTuner:
+    """Trace-level tuning: throughput under a P99 TTFT SLA."""
+
+    TRACE = synthesize_trace(num_requests=25, arrival_rate=10.0,
+                             mean_prompt=64, mean_gen=8, seed=9)
+
+    def test_winner_reproduces_its_numbers(self):
+        r = tune_serving_deployment(DENSE_ZOO["gpt-13b"], CLUSTER,
+                                    self.TRACE, max_gpus=8)
+        assert r.num_gpus == r.tp <= 8
+        from repro.engine import serving_step_times, simulate_serving
+
+        model = DenseLatencyModel(DENSE_ZOO["gpt-13b"], CLUSTER, tp=r.tp)
+        prompt_t, step_t = serving_step_times(model, mean_prompt=64,
+                                              mean_gen=8)
+        rep = simulate_serving(self.TRACE, prompt_time=prompt_t,
+                               step_time=step_t, max_batch=r.max_batch)
+        assert rep.tokens_per_second == pytest.approx(r.tokens_per_second)
+        assert rep.ttft_percentile(self.TRACE, 99) == pytest.approx(r.ttft_p99)
+
+    def test_sla_respected_and_costs_throughput(self):
+        loose = tune_serving_deployment(DENSE_ZOO["gpt-13b"], CLUSTER,
+                                        self.TRACE, max_gpus=8)
+        tight = tune_serving_deployment(DENSE_ZOO["gpt-13b"], CLUSTER,
+                                        self.TRACE, max_gpus=8,
+                                        ttft_sla=loose.ttft_p99 * 0.5)
+        assert tight.ttft_p99 <= loose.ttft_p99 * 0.5
+        assert tight.tokens_per_second <= loose.tokens_per_second
+
+    def test_impossible_sla_raises(self):
+        with pytest.raises(ValueError, match="no serving deployment"):
+            tune_serving_deployment(DENSE_ZOO["gpt-13b"], CLUSTER,
+                                    self.TRACE, ttft_sla=1e-9)
+
+    def test_policy_threads_through(self):
+        r = tune_serving_deployment(DENSE_ZOO["gpt-13b"], CLUSTER,
+                                    self.TRACE, max_gpus=4,
+                                    policy="shortest_prompt")
+        assert r.policy == "shortest_prompt"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            tune_serving_deployment(DENSE_ZOO["gpt-13b"], CLUSTER,
+                                    self.TRACE, max_gpus=0)
