@@ -126,15 +126,25 @@ class GenerationSession:
 
     # -- request lifecycle ---------------------------------------------------
 
-    def submit(self, prompt_ids, *, max_new_tokens: int) -> int:
-        """Queue a request; returns its id."""
+    def submit(self, prompt_ids, *, max_new_tokens: int,
+               request_id: int | None = None) -> int:
+        """Queue a request; returns its id.
+
+        ``request_id`` lets a caller that already names its requests (the
+        fleet layer routing a trace) keep its ids instead of the
+        session-assigned counter; duplicates raise ``ValueError``.
+        """
         prompt = np.asarray(prompt_ids, dtype=int).ravel()
         if prompt.size == 0:
             raise ValueError("prompt must contain at least one token")
         if max_new_tokens < 1:
             raise ValueError("max_new_tokens must be >= 1")
+        if request_id is None:
+            request_id = next(self._ids)
+        elif request_id in self._reqs:
+            raise ValueError(f"request id {request_id} already submitted")
         req = GenerationRequest(
-            request_id=next(self._ids),
+            request_id=int(request_id),
             prompt=prompt,
             max_new_tokens=max_new_tokens,
         )

@@ -147,6 +147,14 @@ class Scheduler:
         return len(self._queue)
 
     @property
+    def waiting(self) -> list[int]:
+        """Request ids still queued, in queue (enqueue) order.
+
+        The fleet layer drains this on a replica crash to requeue the
+        not-yet-admitted requests elsewhere."""
+        return [r.request_id for r in self._queue]
+
+    @property
     def free_slots(self) -> int:
         """Slots available for admission."""
         return self.max_slots - len(self._active)
@@ -154,6 +162,16 @@ class Scheduler:
     def generated(self, request_id: int) -> int:
         """Tokens recorded for a request so far."""
         return self._generated.get(request_id, 0)
+
+    @property
+    def enqueue_steps(self) -> dict[int, int]:
+        """Step at which each request was enqueued (a copy).
+
+        This is the replay interface: a driver that enqueues requests
+        into a fresh scheduler-backed backend at these steps reproduces
+        this scheduler's queue evolution exactly (see the fleet layer's
+        functional mode)."""
+        return dict(self._enqueue_step)
 
     @property
     def admission_order(self) -> list[int]:

@@ -40,16 +40,28 @@ __all__ = [
 
 @dataclass(frozen=True)
 class Request:
-    """One request of a trace."""
+    """One request of a trace.
+
+    ``session`` optionally tags the request with a conversation/user id;
+    the fleet layer's affinity routing keeps one session's requests on
+    one replica (warm prefix/KV locality). ``None`` means unaffiliated.
+    """
 
     request_id: int
     arrival: float
     prompt_len: int
     gen_tokens: int
+    session: int | None = None
 
     def __post_init__(self) -> None:
         if self.arrival < 0 or self.prompt_len < 1 or self.gen_tokens < 1:
             raise ValueError("invalid request parameters")
+
+    @property
+    def work_tokens(self) -> int:
+        """Total token work the request represents (prompt + generation);
+        the unit the fleet router balances across replicas."""
+        return self.prompt_len + self.gen_tokens
 
 
 @dataclass(frozen=True)
@@ -64,6 +76,10 @@ class WorkloadTrace:
         arrivals = [r.arrival for r in self.requests]
         if arrivals != sorted(arrivals):
             raise ValueError("requests must be sorted by arrival time")
+        ids = [r.request_id for r in self.requests]
+        if len(set(ids)) != len(ids):
+            raise ValueError("request ids must be unique within a trace "
+                             "(duplicates would corrupt scheduler state)")
 
     @property
     def duration(self) -> float:
@@ -82,21 +98,32 @@ def synthesize_trace(
     arrival_rate: float,
     mean_prompt: int = 128,
     mean_gen: int = 32,
+    num_sessions: int | None = None,
     seed: int = 0,
 ) -> WorkloadTrace:
-    """Poisson arrivals with geometric-ish prompt/generation lengths."""
+    """Poisson arrivals with geometric-ish prompt/generation lengths.
+
+    ``num_sessions`` tags each request with a session id drawn uniformly
+    from ``range(num_sessions)`` (for the fleet layer's affinity
+    routing); ``None`` leaves requests unaffiliated.
+    """
     if num_requests < 1 or arrival_rate <= 0:
         raise ValueError("num_requests >= 1 and arrival_rate > 0 required")
     if mean_prompt < 1 or mean_gen < 1:
         raise ValueError("mean lengths must be >= 1")
+    if num_sessions is not None and num_sessions < 1:
+        raise ValueError("num_sessions must be >= 1 when given")
     rng = np.random.default_rng(seed)
     gaps = rng.exponential(1.0 / arrival_rate, size=num_requests)
     arrivals = np.cumsum(gaps)
     prompts = np.maximum(1, rng.poisson(mean_prompt, size=num_requests))
     gens = np.maximum(1, rng.poisson(mean_gen, size=num_requests))
+    sessions = (None if num_sessions is None
+                else rng.integers(0, num_sessions, size=num_requests))
     return WorkloadTrace(
         tuple(
-            Request(i, float(arrivals[i]), int(prompts[i]), int(gens[i]))
+            Request(i, float(arrivals[i]), int(prompts[i]), int(gens[i]),
+                    session=None if sessions is None else int(sessions[i]))
             for i in range(num_requests)
         )
     )
@@ -167,7 +194,8 @@ def simulate_serving(
         raise ValueError("max_batch must be >= 1")
     sched = Scheduler(max_batch, policy=policy)
     timeline = Timeline()
-    pending = list(trace.requests)
+    requests = trace.requests
+    cursor = 0  # arrival cursor: O(1) per drain, no per-call trace copy
     admit_at: dict[int, float] = {}
     now = 0.0
     finish: dict[int, float] = {}
@@ -176,8 +204,10 @@ def simulate_serving(
     total_tokens = 0
 
     def enqueue_arrived() -> None:
-        while pending and pending[0].arrival <= now:
-            r = pending.pop(0)
+        nonlocal cursor
+        while cursor < len(requests) and requests[cursor].arrival <= now:
+            r = requests[cursor]
+            cursor += 1
             sched.enqueue(SchedRequest(
                 request_id=r.request_id,
                 prompt_len=r.prompt_len,
@@ -185,11 +215,12 @@ def simulate_serving(
                 arrival=r.arrival,
             ))
 
-    while pending or sched.num_waiting or sched.num_active:
+    while cursor < len(requests) or sched.num_waiting or sched.num_active:
         # Fast-forward to the next arrival when idle.
-        if (not sched.num_active and not sched.num_waiting and pending
-                and pending[0].arrival > now):
-            now = pending[0].arrival
+        if (not sched.num_active and not sched.num_waiting
+                and cursor < len(requests)
+                and requests[cursor].arrival > now):
+            now = requests[cursor].arrival
         enqueue_arrived()
         # Admit one at a time, paying each prompt pass, so requests
         # arriving *during* a prompt pass can join this round's queue.

@@ -13,6 +13,9 @@ trace through :func:`~repro.engine.serving_sim.simulate_serving` (the
 shared-scheduler analytical backend) for every candidate and optimizes
 sustained tokens/sec subject to a tail time-to-first-token SLA — the
 quantity an operator actually provisions against.
+:func:`repro.fleet.tuning.tune_fleet_deployment` extends the ladder one
+more rung, splitting a GPU budget between tensor-parallel scale-up and
+replica scale-out (it shares :func:`_tp_candidates` with this module).
 """
 
 from __future__ import annotations
@@ -55,6 +58,8 @@ class TuningResult:
 
 
 def _tp_candidates(config: ModelConfig, cluster: ClusterSpec, max_gpus: int):
+    """Power-of-two TP degrees that divide the head count and fit one
+    node — shared with the fleet tuner (:mod:`repro.fleet.tuning`)."""
     tp = 1
     while tp <= min(cluster.node.gpus_per_node, max_gpus):
         if config.heads % tp == 0:

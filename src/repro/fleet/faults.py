@@ -1,0 +1,89 @@
+"""Fault injection: replica crashes and slowdowns at trace time.
+
+A fleet earns its keep when replicas fail. :class:`FaultPlan` scripts
+deterministic faults against simulated time so a test (or a tuning run)
+can ask: does the router requeue in-flight work, do survivors absorb the
+load, how far does the tail degrade?
+
+Two fault kinds:
+
+* ``crash`` — from time ``t`` the router stops sending work; the
+  replica finishes the scheduling round it already started (work in
+  flight on an accelerator cannot be half-undone), then every queued
+  and in-flight request requeues to the survivors *from scratch* —
+  tokens the dead replica generated are discarded, never stitched into
+  another replica's output;
+* ``slowdown`` — from time ``t`` the replica's prompt and decode costs
+  multiply by ``factor`` (a thermally throttled or noisy-neighbor
+  node). Decisions are unaffected; pricing — and therefore load-aware
+  routing — shifts.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["ReplicaFault", "FaultPlan"]
+
+_KINDS = ("crash", "slowdown")
+
+
+@dataclass(frozen=True)
+class ReplicaFault:
+    """One scripted fault: ``replica`` fails/slows at trace time ``time``."""
+
+    replica: int
+    time: float
+    kind: str = "crash"
+    factor: float = 1.0  # slowdown multiplier; ignored for crashes
+
+    def __post_init__(self) -> None:
+        if self.replica < 0:
+            raise ValueError("replica index must be >= 0")
+        if self.time < 0 or not math.isfinite(self.time):
+            raise ValueError("fault time must be finite and >= 0")
+        if self.kind not in _KINDS:
+            raise ValueError(f"kind must be one of {_KINDS}, got {self.kind!r}")
+        if self.kind == "slowdown" and self.factor <= 1.0:
+            raise ValueError("a slowdown needs factor > 1")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A reproducible set of faults applied to one fleet run."""
+
+    faults: tuple[ReplicaFault, ...] = ()
+
+    def __post_init__(self) -> None:
+        for kind in _KINDS:
+            seen: set[int] = set()
+            for f in self.faults:
+                if f.kind != kind:
+                    continue
+                if f.replica in seen:
+                    raise ValueError(
+                        f"replica {f.replica} has more than one {kind}"
+                    )
+                seen.add(f.replica)
+
+    def validate_against(self, num_replicas: int) -> None:
+        """Reject faults naming replicas outside the pool, and plans
+        that crash every replica (no survivor could finish the trace)."""
+        for f in self.faults:
+            if f.replica >= num_replicas:
+                raise ValueError(
+                    f"fault targets replica {f.replica} but the fleet "
+                    f"only has {num_replicas}"
+                )
+        if num_replicas and len(self.crashes()) >= num_replicas:
+            raise ValueError("a FaultPlan may not crash every replica")
+
+    def crashes(self) -> dict[int, float]:
+        """Crash time per replica, for the replicas that crash."""
+        return {f.replica: f.time for f in self.faults if f.kind == "crash"}
+
+    def slowdowns(self) -> dict[int, tuple[float, float]]:
+        """``replica -> (from_time, factor)`` for the slowed replicas."""
+        return {f.replica: (f.time, f.factor)
+                for f in self.faults if f.kind == "slowdown"}

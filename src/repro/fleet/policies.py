@@ -1,0 +1,172 @@
+"""Routing policies: which replica serves the next request.
+
+The single-server scheduler (Sec. IV-C1) decides *when* a request runs;
+at fleet scale the prior question is *where*. Each policy is a small
+stateful object consulted once per arrival (and once more per requeue
+after a fault) with a read-only :class:`FleetView` of the replica pool.
+Policies never see clocks or tensors — only assigned-minus-completed
+work — so the analytical and functional fleet backends route
+identically by construction.
+
+Shipped policies mirror the standard load-balancing ladder:
+
+* ``round_robin`` — cycle over live replicas, load-blind;
+* ``least_outstanding`` — argmin of outstanding token work (join the
+  shortest queue);
+* ``power_of_two`` — sample two live replicas, keep the less loaded
+  (Mitzenmacher's d=2 choices: most of least-loaded's benefit at O(1)
+  state reads);
+* ``session_affinity`` — pin each session to one replica (warm
+  prefix/KV locality), falling back to another policy for unaffiliated
+  requests and re-pinning when the pinned replica dies.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol, Sequence
+
+import numpy as np
+
+from ..engine.serving_sim import Request
+
+__all__ = [
+    "FleetView",
+    "RoutingPolicy",
+    "RoundRobin",
+    "LeastOutstanding",
+    "PowerOfTwoChoices",
+    "SessionAffinity",
+    "ROUTING_POLICIES",
+    "resolve_routing_policy",
+]
+
+
+class FleetView(Protocol):
+    """What a policy may observe: pool size, liveness, outstanding work."""
+
+    @property
+    def num_replicas(self) -> int: ...
+
+    def is_alive(self, replica: int) -> bool: ...
+
+    def alive_replicas(self) -> Sequence[int]: ...
+
+    def outstanding(self, replica: int) -> float: ...
+
+
+class RoutingPolicy:
+    """Base class: ``choose`` returns the replica index for one request."""
+
+    name = "base"
+
+    def choose(self, request: Request, view: FleetView) -> int:
+        raise NotImplementedError
+
+
+class RoundRobin(RoutingPolicy):
+    """Cycle over replicas in index order, skipping dead ones."""
+
+    name = "round_robin"
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def choose(self, request: Request, view: FleetView) -> int:
+        for _ in range(view.num_replicas):
+            cand = self._next % view.num_replicas
+            self._next = cand + 1
+            if view.is_alive(cand):
+                return cand
+        raise RuntimeError("no live replica to route to")
+
+
+class LeastOutstanding(RoutingPolicy):
+    """Join the replica with the least outstanding token work (ties go
+    to the lowest index, so routing is deterministic)."""
+
+    name = "least_outstanding"
+
+    def choose(self, request: Request, view: FleetView) -> int:
+        alive = view.alive_replicas()
+        if not alive:
+            raise RuntimeError("no live replica to route to")
+        return min(alive, key=lambda i: (view.outstanding(i), i))
+
+
+class PowerOfTwoChoices(RoutingPolicy):
+    """Sample two distinct live replicas, keep the less loaded one.
+
+    Seeded, so a fleet run is reproducible; with a single live replica
+    it degenerates to that replica.
+    """
+
+    name = "power_of_two"
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = np.random.default_rng(seed)
+
+    def choose(self, request: Request, view: FleetView) -> int:
+        alive = list(view.alive_replicas())
+        if not alive:
+            raise RuntimeError("no live replica to route to")
+        if len(alive) == 1:
+            return alive[0]
+        a, b = self._rng.choice(len(alive), size=2, replace=False)
+        a, b = alive[int(a)], alive[int(b)]
+        return min((a, b), key=lambda i: (view.outstanding(i), i))
+
+
+class SessionAffinity(RoutingPolicy):
+    """Pin each session to one replica; fall back for the rest.
+
+    The first request of a session is placed by ``fallback`` (default
+    :class:`LeastOutstanding`) and later ones follow it — the placement
+    a prefix-cache or conversation-KV reuse scheme wants. A dead pinned
+    replica triggers a re-pin through the fallback.
+    """
+
+    name = "session_affinity"
+
+    def __init__(self, fallback: RoutingPolicy | None = None) -> None:
+        self.fallback = fallback or LeastOutstanding()
+        self._pins: dict[int, int] = {}
+
+    def choose(self, request: Request, view: FleetView) -> int:
+        if request.session is None:
+            return self.fallback.choose(request, view)
+        pinned = self._pins.get(request.session)
+        if pinned is not None and view.is_alive(pinned):
+            return pinned
+        target = self.fallback.choose(request, view)
+        self._pins[request.session] = target
+        return target
+
+    @property
+    def pins(self) -> dict[int, int]:
+        """Current session -> replica pinning (a copy)."""
+        return dict(self._pins)
+
+
+ROUTING_POLICIES: dict[str, Callable[[], RoutingPolicy]] = {
+    "round_robin": RoundRobin,
+    "least_outstanding": LeastOutstanding,
+    "power_of_two": PowerOfTwoChoices,
+    "session_affinity": SessionAffinity,
+}
+
+
+def resolve_routing_policy(policy: str | RoutingPolicy) -> RoutingPolicy:
+    """Turn a policy name into a fresh instance (instances pass through).
+
+    Policies are stateful (round-robin cursor, affinity pins, RNG), so
+    every fleet run must get its own instance — names make that the
+    default path.
+    """
+    if isinstance(policy, RoutingPolicy):
+        return policy
+    if policy not in ROUTING_POLICIES:
+        raise ValueError(
+            f"unknown routing policy {policy!r}; choose from "
+            f"{sorted(ROUTING_POLICIES)} or pass a RoutingPolicy instance"
+        )
+    return ROUTING_POLICIES[policy]()

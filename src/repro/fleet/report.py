@@ -1,0 +1,106 @@
+"""Fleet-level reporting: per-replica and fleet-wide serving numbers.
+
+The single-server :class:`~repro.engine.serving_sim.ServingReport`
+answers "can this deployment hold the SLA"; the fleet report answers
+the capacity-planning questions above it: how is load spread, what did
+a fault cost, where did the tail go. It aggregates one lane per replica
+plus the router's decision log, and merges every replica timeline into
+one multi-lane chrome-trace export.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..engine.scheduler import Scheduler
+from ..engine.serving_sim import Request, WorkloadTrace
+from ..simcore.trace import Timeline
+from .router import RoutingDecision
+
+__all__ = ["ReplicaStats", "FleetReport"]
+
+
+@dataclass(frozen=True)
+class ReplicaStats:
+    """One replica's share of the run."""
+
+    replica: int
+    alive: bool
+    num_requests: int       # requests it completed
+    tokens: int             # tokens of those completed requests
+    tokens_discarded: int   # generated, then thrown away by a crash
+    busy_time: float        # server-lane busy time (prefill + decode)
+
+
+@dataclass(frozen=True)
+class FleetReport:
+    """Outcome of serving one trace on a replica fleet."""
+
+    makespan: float
+    finish_times: dict[int, float]        # request -> completion time
+    first_token_times: dict[int, float]   # on the *serving* replica
+    queue_delays: dict[int, float]        # original arrival -> final admit
+    replica_of: dict[int, int]            # final serving replica
+    retried: frozenset[int]               # requests re-placed after a fault
+    total_tokens: int                     # tokens of completed requests
+    tokens_discarded: int                 # crash-wasted tokens
+    replica_stats: tuple[ReplicaStats, ...]
+    routing: tuple[RoutingDecision, ...]
+    crash_steps: dict[int, int] = field(default_factory=dict, compare=False)
+    schedulers: tuple[Scheduler, ...] = field(default=(), compare=False)
+    timeline: Timeline | None = field(default=None, compare=False)
+
+    # -- per-request views ----------------------------------------------
+
+    def latency(self, request: Request) -> float:
+        """End-to-end latency from *original* arrival (retries included)."""
+        return self.finish_times[request.request_id] - request.arrival
+
+    def ttft(self, request: Request) -> float:
+        """Time to the first token that survived into the final output —
+        a retried request's clock keeps running through the crash."""
+        return self.first_token_times[request.request_id] - request.arrival
+
+    def _percentile(self, values: list[float], q: float) -> float:
+        return float(np.percentile(np.array(values), q))
+
+    def latency_percentile(self, trace: WorkloadTrace, q: float) -> float:
+        """qth percentile of fleet-wide end-to-end latency."""
+        return self._percentile([self.latency(r) for r in trace.requests], q)
+
+    def ttft_percentile(self, trace: WorkloadTrace, q: float) -> float:
+        """qth percentile of fleet-wide time to first (surviving) token."""
+        return self._percentile([self.ttft(r) for r in trace.requests], q)
+
+    # -- fleet aggregates -------------------------------------------------
+
+    @property
+    def num_completed(self) -> int:
+        """Requests that finished somewhere in the fleet."""
+        return len(self.finish_times)
+
+    @property
+    def tokens_per_second(self) -> float:
+        """Sustained useful throughput (discarded tokens excluded)."""
+        return self.total_tokens / self.makespan if self.makespan > 0 else 0.0
+
+    @property
+    def request_counts(self) -> tuple[int, ...]:
+        """Completed-request count per replica (the load-shift signal)."""
+        return tuple(s.num_requests for s in self.replica_stats)
+
+    @property
+    def num_replicas(self) -> int:
+        """Size of the replica pool."""
+        return len(self.replica_stats)
+
+    def per_replica_ttft_percentile(self, trace: WorkloadTrace, q: float,
+                                    replica: int) -> float:
+        """qth TTFT percentile over the requests one replica completed."""
+        vals = [self.ttft(r) for r in trace.requests
+                if self.replica_of.get(r.request_id) == replica]
+        if not vals:
+            raise ValueError(f"replica {replica} completed no requests")
+        return self._percentile(vals, q)

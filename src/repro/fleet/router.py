@@ -1,0 +1,109 @@
+"""The fleet router: placement authority over a pool of replicas.
+
+What the :class:`~repro.engine.scheduler.Scheduler` is to one server —
+the single owner of lifecycle decisions, consumed identically by the
+functional and analytical backends — the :class:`Router` is to the
+fleet: the single owner of *placement*. It tracks per-replica liveness
+and outstanding token work (assigned minus completed), delegates each
+choice to a pluggable :class:`~repro.fleet.policies.RoutingPolicy`, and
+logs every decision (including post-crash retries) for the report.
+
+The router deliberately measures load in **tokens**, not priced
+seconds: token work is observable in both the analytical and the
+functional backend, so a shared trace routes identically in both —
+the fleet-level analogue of the PR-1 decision-equivalence guarantee.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..engine.serving_sim import Request
+from .policies import RoutingPolicy, resolve_routing_policy
+
+__all__ = ["RoutingDecision", "Router"]
+
+
+@dataclass(frozen=True)
+class RoutingDecision:
+    """One placement: ``request_id`` went to ``replica`` at ``time``."""
+
+    time: float
+    request_id: int
+    replica: int
+    retry: bool = False
+
+
+class Router:
+    """Policy-driven placement with liveness and load accounting."""
+
+    def __init__(self, num_replicas: int,
+                 policy: str | RoutingPolicy = "round_robin") -> None:
+        if num_replicas < 1:
+            raise ValueError("num_replicas must be >= 1")
+        self.policy = resolve_routing_policy(policy)
+        self._alive = [True] * num_replicas
+        self._outstanding = [0.0] * num_replicas
+        self.decisions: list[RoutingDecision] = []
+
+    # -- FleetView (what policies may observe) ---------------------------
+
+    @property
+    def num_replicas(self) -> int:
+        """Size of the replica pool (dead ones included)."""
+        return len(self._alive)
+
+    def is_alive(self, replica: int) -> bool:
+        """Liveness of one replica."""
+        return self._alive[replica]
+
+    def alive_replicas(self) -> list[int]:
+        """Indices of live replicas, ascending."""
+        return [i for i, up in enumerate(self._alive) if up]
+
+    def outstanding(self, replica: int) -> float:
+        """Token work assigned to ``replica`` and not yet completed."""
+        return self._outstanding[replica]
+
+    # -- placement -------------------------------------------------------
+
+    def route(self, request: Request, time: float, *,
+              retry: bool = False) -> int:
+        """Place one request; returns the chosen replica index."""
+        if not any(self._alive):
+            raise RuntimeError(
+                "every replica has failed; the fleet cannot serve "
+                f"request {request.request_id}"
+            )
+        replica = self.policy.choose(request, self)
+        if not (0 <= replica < len(self._alive)) or not self._alive[replica]:
+            raise RuntimeError(
+                f"policy {self.policy.name!r} chose unusable replica "
+                f"{replica}"
+            )
+        self._outstanding[replica] += request.work_tokens
+        self.decisions.append(
+            RoutingDecision(time, request.request_id, replica, retry))
+        return replica
+
+    def complete(self, request: Request, replica: int) -> None:
+        """Report a request finished on ``replica``; releases its load."""
+        self._outstanding[replica] = max(
+            0.0, self._outstanding[replica] - request.work_tokens)
+
+    def mark_failed(self, replica: int) -> None:
+        """Take ``replica`` out of rotation; its load register clears
+        (the sim re-routes the victims, which re-adds their work)."""
+        self._alive[replica] = False
+        self._outstanding[replica] = 0.0
+
+    # -- reporting -------------------------------------------------------
+
+    def assignments(self) -> dict[int, int]:
+        """Final placement per request id (later retries overwrite)."""
+        return {d.request_id: d.replica for d in self.decisions}
+
+    @property
+    def num_retries(self) -> int:
+        """Placements that were post-fault retries."""
+        return sum(1 for d in self.decisions if d.retry)

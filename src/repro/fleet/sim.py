@@ -1,0 +1,453 @@
+"""Fleet serving simulation: N replicas, one router, two backends.
+
+Scale-out beyond one server multiplies the paper's single-instance
+runtime (Secs. IV-V) behind a :class:`~repro.fleet.router.Router`. Each
+replica is the *same* scheduler-backed continuous-batching server PR 1
+built — here decomposed into atomic actions (admit-one-with-prompt-pass,
+decode-one-iteration) so a global event loop can interleave many
+replicas, arrivals, and scripted faults in start-time order.
+
+Two backends, one control plane:
+
+* :func:`simulate_fleet` — analytical: every replica prices the shared
+  :class:`~repro.engine.scheduler.Scheduler`'s decisions with the
+  latency model (exactly :func:`~repro.engine.serving_sim
+  .simulate_serving`'s round structure; a one-replica fleet reproduces
+  it bit-for-bit), producing a :class:`~repro.fleet.report.FleetReport`;
+* :func:`run_fleet_functional` — functional: replays the analytical
+  run's per-replica enqueue schedule into one real
+  :class:`~repro.engine.generation.GenerationSession` per replica. The
+  sessions' own schedulers re-make every admission/retirement decision
+  and must coincide with the analytical ones (the fleet-level extension
+  of PR 1's decision-equivalence guarantee), and every completed
+  request's output is exactly ``model.generate`` on its prompt alone —
+  including requests retried after a crash, which restart from scratch
+  so no token from a dead replica survives.
+
+Crash semantics: from the fault time the router stops routing to the
+replica; it completes the scheduling round already in flight (work on an
+accelerator cannot be half-undone), then dies at that step boundary and
+all queued/in-flight requests requeue to the survivors with their
+partial output discarded.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ..engine.generation import GenerationSession
+from ..engine.scheduler import SchedRequest, Scheduler
+from ..engine.serving_sim import Request, WorkloadTrace
+from ..simcore.trace import Timeline
+from .faults import FaultPlan
+from .policies import RoutingPolicy
+from .report import FleetReport, ReplicaStats
+from .router import Router
+
+__all__ = [
+    "simulate_fleet",
+    "run_fleet_functional",
+    "FleetFunctionalResult",
+    "synthesize_prompts",
+]
+
+_INF = math.inf
+
+
+class _Replica:
+    """One priced replica: simulate_serving's loop split into atomic
+    actions so the fleet event loop can interleave replicas."""
+
+    def __init__(self, index: int, *, max_batch: int, policy: str,
+                 prompt_time: Callable[[int, int], float],
+                 step_time: Callable[[int], float]) -> None:
+        self.index = index
+        self.sched = Scheduler(max_batch, policy=policy)
+        self.prompt_time = prompt_time
+        self.step_time = step_time
+        self.now = 0.0
+        self.alive = True
+        self.slow_from = _INF
+        self.slow_factor = 1.0
+        self.crash_step: int | None = None
+        self._mid_round = False
+        self.inbox: deque[tuple[float, Request]] = deque()  # delivered, unenqueued
+        self.by_id: dict[int, Request] = {}
+        self.admit_start: dict[int, float] = {}
+        self.admit_at: dict[int, float] = {}
+        self.first: dict[int, float] = {}
+        self.finish: dict[int, float] = {}
+        self.tokens = 0  # every token generated here, kept or discarded
+        self.timeline = Timeline()
+
+    # -- delivery --------------------------------------------------------
+
+    def deliver(self, request: Request, t: float) -> None:
+        """Hand over a routed request (enqueued before the next action)."""
+        self.inbox.append((t, request))
+        self.by_id[request.request_id] = request
+
+    def _enqueue_arrived(self) -> None:
+        while self.inbox and self.inbox[0][0] <= self.now:
+            t, r = self.inbox.popleft()
+            self.sched.enqueue(SchedRequest(
+                request_id=r.request_id,
+                prompt_len=r.prompt_len,
+                max_new_tokens=r.gen_tokens,
+                arrival=t,
+            ))
+
+    # -- the action interface --------------------------------------------
+
+    def next_action_time(self) -> float:
+        """Start time of this replica's next atomic action (inf if idle)."""
+        if not self.alive:
+            return _INF
+        if self.sched.num_active or self.sched.num_waiting:
+            return self.now
+        if self.inbox:
+            return max(self.now, self.inbox[0][0])  # idle fast-forward
+        return _INF
+
+    def _cost(self, dt: float) -> float:
+        return dt * (self.slow_factor if self.now >= self.slow_from else 1.0)
+
+    def perform_action(self, on_complete) -> str | None:
+        """Run one atomic action: admit one request (paying its prompt
+        pass) if possible, else decode one iteration. Returns what ran."""
+        t = self.next_action_time()
+        if t == _INF:
+            return None
+        self.now = max(self.now, t)
+        self._enqueue_arrived()
+        admitted = self.sched.admit(max_admit=1)
+        if admitted:
+            s = admitted[0]
+            self._mid_round = True
+            start = self.now
+            self.now += self._cost(
+                self.prompt_time(self.sched.num_active, s.prompt_len))
+            self.timeline.record("server", start, self.now,
+                                 f"prefill r{s.request_id}")
+            self.timeline.record(f"req-{s.request_id}", s.arrival, start,
+                                 "queued")
+            self.admit_start[s.request_id] = start
+            self.admit_at[s.request_id] = self.now
+            self.first[s.request_id] = self.now  # prompt pass yields token 1
+            self.tokens += 1
+            if self.sched.record_token(s.request_id) is not None:
+                self.finish[s.request_id] = self.now
+                self.timeline.record(f"req-{s.request_id}", start, self.now,
+                                     "decode")
+                on_complete(self.index, self.by_id[s.request_id], self.now)
+            return "admit"
+        if self.sched.num_active:
+            batch = self.sched.num_active
+            start = self.now
+            self.now += self._cost(self.step_time(batch))
+            self.timeline.record("server", start, self.now, f"decode x{batch}")
+            self.tokens += batch
+            for rid in self.sched.active:
+                if self.sched.record_token(rid) is not None:
+                    self.finish[rid] = self.now
+                    self.timeline.record(f"req-{rid}", self.admit_at[rid],
+                                         self.now, "decode")
+                    on_complete(self.index, self.by_id[rid], self.now)
+            self.sched.advance()
+            self._mid_round = False
+            return "decode"
+        return None
+
+    # -- crash handling --------------------------------------------------
+
+    def crash(self, t_fault: float, on_complete) -> list[tuple[float, Request]]:
+        """Kill the replica: finish the in-flight round so it dies at a
+        scheduler step boundary, then surrender every unfinished request
+        (queued, in flight, or undelivered) for requeueing. Returns
+        ``(requeue_time, request)`` victims in scheduler order."""
+        while self._mid_round:
+            if self.perform_action(on_complete) is None:
+                # The round cannot reach its decode (everything retired
+                # in prompt passes); close the step so the event log
+                # stays boundary-aligned for functional replay.
+                self.sched.advance()
+                self._mid_round = False
+        self.alive = False
+        self.crash_step = self.sched.step
+        t_requeue = max(self.now, t_fault)
+        victims: list[tuple[float, Request]] = []
+        for rid in self.sched.active:          # in flight: output discarded
+            victims.append((t_requeue, self.by_id[rid]))
+        for rid in self.sched.waiting:         # queued, never started
+            victims.append((t_requeue, self.by_id[rid]))
+        for t, r in self.inbox:                # routed, never enqueued
+            victims.append((max(t_requeue, t), r))
+        self.inbox.clear()
+        self.timeline.record_instant("server", t_requeue,
+                                     f"crash ({len(victims)} requeued)")
+        return victims
+
+    # -- reporting -------------------------------------------------------
+
+    def completed_tokens(self) -> int:
+        """Tokens of the requests that finished here (kept tokens)."""
+        return sum(self.by_id[rid].gen_tokens for rid in self.finish)
+
+    def stats(self) -> ReplicaStats:
+        return ReplicaStats(
+            replica=self.index,
+            alive=self.alive,
+            num_requests=len(self.finish),
+            tokens=self.completed_tokens(),
+            tokens_discarded=self.tokens - self.completed_tokens(),
+            busy_time=self.timeline.busy_time("server"),
+        )
+
+
+def simulate_fleet(
+    trace: WorkloadTrace,
+    *,
+    num_replicas: int,
+    prompt_time: Callable[[int, int], float],
+    step_time: Callable[[int], float],
+    max_batch: int,
+    policy: str = "fcfs",
+    routing: str | RoutingPolicy = "round_robin",
+    fault_plan: FaultPlan | None = None,
+) -> FleetReport:
+    """Serve ``trace`` on ``num_replicas`` priced replicas behind a router.
+
+    ``prompt_time``/``step_time``/``max_batch``/``policy`` configure
+    every replica exactly as :func:`~repro.engine.serving_sim
+    .simulate_serving` would one server (see
+    :func:`~repro.engine.serving_sim.serving_step_times`); ``routing``
+    names a :data:`~repro.fleet.policies.ROUTING_POLICIES` entry or is a
+    policy instance; ``fault_plan`` scripts crashes/slowdowns. Requests
+    on a crashed replica requeue to the survivors and restart from
+    scratch; the run fails only if every replica crashes (which
+    :meth:`FaultPlan.validate_against` rejects up front).
+    """
+    if num_replicas < 1:
+        raise ValueError("num_replicas must be >= 1")
+    if max_batch < 1:
+        raise ValueError("max_batch must be >= 1")
+    plan = fault_plan or FaultPlan()
+    plan.validate_against(num_replicas)
+
+    replicas = [
+        _Replica(i, max_batch=max_batch, policy=policy,
+                 prompt_time=prompt_time, step_time=step_time)
+        for i in range(num_replicas)
+    ]
+    for i, (t, factor) in plan.slowdowns().items():
+        replicas[i].slow_from = t
+        replicas[i].slow_factor = factor
+    crash_events = sorted(
+        (t, i) for i, t in plan.crashes().items())
+    crash_cursor = 0
+
+    router = Router(num_replicas, policy=routing)
+    replica_of: dict[int, int] = {}
+    retried: set[int] = set()
+    tokens_discarded = 0
+
+    def on_complete(replica_index: int, request: Request, t: float) -> None:
+        router.complete(request, replica_index)
+
+    # Arrival stream: the trace plus post-crash requeues, start-time
+    # ordered (seq breaks ties in trace/requeue order).
+    heap: list[tuple[float, int, Request, bool]] = [
+        (r.arrival, seq, r, False) for seq, r in enumerate(trace.requests)
+    ]
+    heapq.heapify(heap)
+    seq = len(trace.requests)
+
+    while True:
+        t_arr = heap[0][0] if heap else _INF
+        t_act, act_i = _INF, -1
+        for i, rep in enumerate(replicas):
+            t = rep.next_action_time()
+            if t < t_act:
+                t_act, act_i = t, i
+        t_fault = (crash_events[crash_cursor][0]
+                   if crash_cursor < len(crash_events) else _INF)
+        if min(t_arr, t_act, t_fault) == _INF:
+            break
+        if t_fault <= t_arr and t_fault <= t_act:
+            t, dead_i = crash_events[crash_cursor]
+            crash_cursor += 1
+            dead = replicas[dead_i]
+            victims = dead.crash(t, on_complete)
+            router.mark_failed(dead_i)
+            tokens_discarded += (dead.tokens - dead.completed_tokens())
+            for t_req, r in victims:
+                heapq.heappush(heap, (t_req, seq, r, True))
+                seq += 1
+            continue
+        if t_arr <= t_act:
+            t, _, r, retry = heapq.heappop(heap)
+            target = router.route(r, t, retry=retry)
+            if retry:
+                retried.add(r.request_id)
+            replica_of[r.request_id] = target
+            replicas[target].deliver(r, t)
+            continue
+        replicas[act_i].perform_action(on_complete)
+
+    # -- assemble the report --------------------------------------------
+    finish: dict[int, float] = {}
+    first: dict[int, float] = {}
+    delays: dict[int, float] = {}
+    by_id = {r.request_id: r for r in trace.requests}
+    for rid, i in replica_of.items():
+        rep = replicas[i]
+        if rid in rep.finish:  # the serving replica's record is final
+            finish[rid] = rep.finish[rid]
+            first[rid] = rep.first[rid]
+            delays[rid] = rep.admit_start[rid] - by_id[rid].arrival
+
+    timeline = Timeline()
+    for i, rep in enumerate(replicas):
+        timeline.merge(rep.timeline, prefix=f"replica{i}/")
+    for d in router.decisions:
+        timeline.record_instant(
+            "router", d.time,
+            f"r{d.request_id}->replica{d.replica}"
+            + (" (retry)" if d.retry else ""))
+
+    return FleetReport(
+        makespan=max(finish.values(), default=0.0),
+        finish_times=finish,
+        first_token_times=first,
+        queue_delays=delays,
+        replica_of=dict(replica_of),
+        retried=frozenset(retried),
+        total_tokens=sum(by_id[rid].gen_tokens for rid in finish),
+        tokens_discarded=tokens_discarded,
+        replica_stats=tuple(rep.stats() for rep in replicas),
+        routing=tuple(router.decisions),
+        crash_steps={rep.index: rep.crash_step for rep in replicas
+                     if rep.crash_step is not None},
+        schedulers=tuple(rep.sched for rep in replicas),
+        timeline=timeline,
+    )
+
+
+# -- functional mode ------------------------------------------------------
+
+
+def synthesize_prompts(trace: WorkloadTrace, *, vocab: int,
+                       seed: int = 0) -> dict[int, np.ndarray]:
+    """Deterministic token prompts matching each request's prompt_len."""
+    rng = np.random.default_rng(seed)
+    return {r.request_id: rng.integers(0, vocab, size=r.prompt_len)
+            for r in trace.requests}
+
+
+@dataclass
+class FleetFunctionalResult:
+    """Outcome of a functional fleet run."""
+
+    report: FleetReport                       # the shared control plane
+    outputs: dict[int, np.ndarray]            # request -> final output ids
+    sessions: tuple[GenerationSession, ...]   # one per replica
+
+
+def _replay_replica(model, trace: WorkloadTrace,
+                    prompts: dict[int, np.ndarray], sched: Scheduler, *,
+                    max_batch: int, policy: str,
+                    crash_step: int | None) -> GenerationSession:
+    """Re-enqueue one analytical replica's requests into a real session
+    at the recorded scheduler steps; the session's own scheduler then
+    re-makes every admission/retirement decision."""
+    by_id = {r.request_id: r for r in trace.requests}
+    enq: dict[int, list[int]] = {}
+    for rid, step in sched.enqueue_steps.items():
+        enq.setdefault(step, []).append(rid)
+    # Within a step, preserve the analytical enqueue order.
+    order = {e.request_id: k for k, e in enumerate(sched.events)
+             if e.kind == "enqueue"}
+    steps = sorted(enq)
+    session = GenerationSession(model, max_concurrency=max_batch,
+                                policy=policy)
+    qi = 0
+    while True:
+        step = session.scheduler.step
+        if crash_step is not None and step >= crash_step:
+            break  # the replica died at this boundary; discard the rest
+        while qi < len(steps) and steps[qi] <= step:
+            for rid in sorted(enq[steps[qi]], key=order.__getitem__):
+                session.submit(prompts[rid],
+                               max_new_tokens=by_id[rid].gen_tokens,
+                               request_id=rid)
+            qi += 1
+        if not (session.num_active or session.num_waiting or qi < len(steps)):
+            break
+        session.step()
+    return session
+
+
+def run_fleet_functional(
+    model,
+    trace: WorkloadTrace,
+    *,
+    num_replicas: int,
+    prompt_time: Callable[[int, int], float],
+    step_time: Callable[[int], float],
+    max_batch: int,
+    policy: str = "fcfs",
+    routing: str | RoutingPolicy = "round_robin",
+    fault_plan: FaultPlan | None = None,
+    prompts: dict[int, np.ndarray] | None = None,
+    seed: int = 0,
+) -> FleetFunctionalResult:
+    """Serve ``trace`` on real :class:`GenerationSession` replicas.
+
+    The analytical backend runs first as the control plane (routing and
+    per-replica enqueue schedules are placement decisions, shared by
+    construction); each replica's schedule then replays into its own
+    session, whose scheduler independently re-makes — and must agree on
+    — every admission and retirement. Greedy decoding keeps the
+    correctness contract checkable: every completed request's output
+    equals solo ``model.generate``, and a request retried after a crash
+    restarts from scratch (no dead replica's token can leak).
+
+    ``prompts`` maps request id to token ids (lengths must match the
+    trace); omitted, they are synthesized deterministically from
+    ``seed``.
+    """
+    report = simulate_fleet(
+        trace, num_replicas=num_replicas, prompt_time=prompt_time,
+        step_time=step_time, max_batch=max_batch, policy=policy,
+        routing=routing, fault_plan=fault_plan,
+    )
+    if prompts is None:
+        prompts = synthesize_prompts(trace, vocab=model.config.vocab,
+                                     seed=seed)
+    else:
+        for r in trace.requests:
+            got = np.asarray(prompts[r.request_id]).size
+            if got != r.prompt_len:
+                raise ValueError(
+                    f"prompt for request {r.request_id} has {got} tokens, "
+                    f"trace says {r.prompt_len}")
+
+    sessions = tuple(
+        _replay_replica(model, trace, prompts, sched,
+                        max_batch=max_batch, policy=policy,
+                        crash_step=report.crash_steps.get(i))
+        for i, sched in enumerate(report.schedulers)
+    )
+    outputs = {
+        rid: sessions[i].result(rid).output_ids
+        for rid, i in report.replica_of.items()
+        if rid in report.finish_times
+    }
+    return FleetFunctionalResult(report=report, outputs=outputs,
+                                 sessions=sessions)

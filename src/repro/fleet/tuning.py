@@ -1,0 +1,127 @@
+"""Fleet-level deployment tuning: replicas x TP x max_batch under a
+GPU budget and a tail-latency SLA.
+
+The paper tunes one instance (TP/PP/batch, Sec. I); an operator sizing
+a fleet holds a *GPU budget* and must split it between scale-up (more
+GPUs per replica via TP: lower per-token latency, fewer replicas) and
+scale-out (more replicas: more aggregate slots, more failure
+isolation). :func:`tune_fleet_deployment` searches that split by
+replaying the reference trace through :func:`~repro.fleet.sim
+.simulate_fleet` for every candidate — optionally under a
+:class:`~repro.fleet.faults.FaultPlan`, so the returned deployment can
+be required to hold its SLA *through* a replica loss.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..engine.latency import DenseLatencyModel
+from ..engine.offload import max_batch_size
+from ..engine.serving_sim import WorkloadTrace, serving_step_times
+from ..engine.throughput import candidate_batches
+from ..engine.tuner import _tp_candidates
+from ..hardware.topology import ClusterSpec
+from ..model.config import ModelConfig
+from .faults import FaultPlan
+from .sim import simulate_fleet
+
+__all__ = ["FleetTuningResult", "tune_fleet_deployment"]
+
+
+@dataclass(frozen=True)
+class FleetTuningResult:
+    """Winning fleet deployment for one trace."""
+
+    replicas: int
+    tp: int
+    max_batch: int
+    routing: str
+    tokens_per_second: float
+    ttft_p99: float
+    latency_p99: float
+    num_gpus: int
+
+    @property
+    def tokens_per_second_per_gpu(self) -> float:
+        """Cost-normalized sustained throughput."""
+        return self.tokens_per_second / self.num_gpus
+
+
+def tune_fleet_deployment(
+    config: ModelConfig,
+    cluster: ClusterSpec,
+    trace: WorkloadTrace,
+    *,
+    gpu_budget: int,
+    ttft_sla: float | None = None,
+    routing: str = "least_outstanding",
+    policy: str = "fcfs",
+    fault_plan: FaultPlan | None = None,
+) -> FleetTuningResult:
+    """Search replicas x TP x max_batch for the best fleet throughput
+    whose P99 time-to-first-token meets ``ttft_sla`` (seconds; ``None``
+    = no bound) within ``gpu_budget`` GPUs.
+
+    Each candidate prices every replica with a ``tp``-way
+    :class:`DenseLatencyModel` (replicas are TP-only islands — decode
+    pipelining is not priced at serving granularity, matching
+    :func:`~repro.engine.tuner.tune_serving_deployment`) and replays
+    ``trace`` through the fleet simulator under ``routing`` and the
+    optional ``fault_plan``. Ties on throughput go to the cheaper
+    deployment. Raises ``ValueError`` when nothing feasible meets the
+    SLA.
+    """
+    if gpu_budget < 1:
+        raise ValueError("gpu_budget must be >= 1")
+    mean_prompt = max(1, round(float(np.mean(
+        [r.prompt_len for r in trace.requests]))))
+    mean_gen = max(1, round(float(np.mean(
+        [r.gen_tokens for r in trace.requests]))))
+    seq = max(r.prompt_len + r.gen_tokens for r in trace.requests)
+
+    best: FleetTuningResult | None = None
+    for tp in _tp_candidates(config, cluster, gpu_budget):
+        cap = max_batch_size(config, cluster, tp=tp, pp=1, seq_len=seq)
+        if cap < 1:
+            continue
+        model = DenseLatencyModel(config, cluster, tp=tp)
+        prompt_t, step_t = serving_step_times(model, mean_prompt=mean_prompt,
+                                              mean_gen=mean_gen)
+        batches = tuple(candidate_batches(cap))
+        for replicas in range(1, gpu_budget // tp + 1):
+            if fault_plan is not None and fault_plan.crashes():
+                if max(fault_plan.crashes()) >= replicas:
+                    continue  # the plan names replicas this fleet lacks
+                if len(fault_plan.crashes()) >= replicas:
+                    continue  # no survivor would remain
+            for max_batch in batches:
+                rep = simulate_fleet(
+                    trace, num_replicas=replicas, prompt_time=prompt_t,
+                    step_time=step_t, max_batch=max_batch, policy=policy,
+                    routing=routing, fault_plan=fault_plan,
+                )
+                ttft = rep.ttft_percentile(trace, 99)
+                if ttft_sla is not None and ttft > ttft_sla:
+                    continue
+                cand = FleetTuningResult(
+                    replicas=replicas, tp=tp, max_batch=max_batch,
+                    routing=routing,
+                    tokens_per_second=rep.tokens_per_second,
+                    ttft_p99=ttft,
+                    latency_p99=rep.latency_percentile(trace, 99),
+                    num_gpus=replicas * tp,
+                )
+                if best is None or (
+                    (cand.tokens_per_second, -cand.num_gpus)
+                    > (best.tokens_per_second, -best.num_gpus)
+                ):
+                    best = cand
+    if best is None:
+        raise ValueError(
+            f"no fleet deployment of {config.name} on {cluster.name} meets "
+            f"ttft_sla={ttft_sla} within {gpu_budget} GPUs"
+        )
+    return best

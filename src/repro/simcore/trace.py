@@ -58,6 +58,22 @@ class Timeline:
         """Point events of one lane, ordered by time."""
         return list(self._instants.get(lane, []))
 
+    def merge(self, other: "Timeline", *, prefix: str = "") -> "Timeline":
+        """Copy every span and instant of ``other`` into this timeline,
+        prefixing its lane names with ``prefix``.
+
+        Builds multi-server views: the fleet layer merges one timeline
+        per replica under ``replica{i}/`` prefixes into a single
+        chrome-trace export. Returns ``self`` for chaining.
+        """
+        for lane, spans in other._lanes.items():
+            for s in spans:
+                self.record(prefix + lane, s.start, s.end, s.label)
+        for lane, instants in other._instants.items():
+            for t, label in instants:
+                self.record_instant(prefix + lane, t, label)
+        return self
+
     def lanes(self) -> list[str]:
         """Lane names in insertion-independent (sorted) order."""
         return sorted(self._lanes)

@@ -43,6 +43,17 @@ class TestSingleRequest:
         done = session.run()
         assert done[rid].cache is None
 
+    def test_explicit_request_id(self, model):
+        """Callers replaying a recorded schedule (the fleet layer) pick
+        their own ids; auto-assignment continues past them."""
+        session = GenerationSession(model)
+        assert session.submit(np.array([1, 2]), max_new_tokens=1,
+                              request_id=7) == 7
+        with pytest.raises(ValueError, match="already submitted"):
+            session.submit(np.array([3]), max_new_tokens=1, request_id=7)
+        done = session.run()
+        assert 7 in done
+
 
 class TestContinuousBatching:
     def test_concurrent_requests_independent(self, model):

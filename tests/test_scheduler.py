@@ -113,6 +113,24 @@ class TestLifecycle:
         retire_steps = [e.step for e in s.events if e.kind == "retire"]
         assert retire_steps == [0, 1]
 
+    def test_waiting_and_enqueue_steps_accessors(self):
+        """The fleet layer reads both: ``waiting`` to requeue a dead
+        replica's queue, ``enqueue_steps`` to replay enqueues into a
+        functional session at the recorded step."""
+        s = Scheduler(1)
+        s.enqueue(_req(0))
+        s.enqueue(_req(1))
+        assert s.waiting == [0, 1]
+        s.admit()
+        assert s.waiting == [1]
+        s.record_token(0)
+        s.advance()
+        s.enqueue(_req(2))
+        assert s.enqueue_steps == {0: 0, 1: 0, 2: 1}
+        # The mapping is a copy: mutating it cannot corrupt the scheduler.
+        s.enqueue_steps.clear()
+        assert s.enqueue_steps == {0: 0, 1: 0, 2: 1}
+
     def test_validation(self):
         with pytest.raises(ValueError):
             Scheduler(0)

@@ -7,6 +7,7 @@ from hypothesis import given, settings, strategies as st
 from repro.engine import (
     DenseLatencyModel,
     Request,
+    ServingReport,
     WorkloadTrace,
     serving_step_times,
     simulate_serving,
@@ -48,6 +49,18 @@ class TestTraceSynthesis:
             WorkloadTrace(())
         with pytest.raises(ValueError):
             WorkloadTrace((Request(0, 5.0, 1, 1), Request(1, 1.0, 1, 1)))
+        with pytest.raises(ValueError, match="unique"):
+            WorkloadTrace((Request(3, 0.0, 1, 1), Request(3, 1.0, 1, 1)))
+
+    def test_session_tags(self):
+        t = synthesize_trace(num_requests=30, arrival_rate=5.0,
+                             num_sessions=3, seed=2)
+        assert {r.session for r in t.requests} <= {0, 1, 2}
+        plain = synthesize_trace(num_requests=5, arrival_rate=5.0, seed=2)
+        assert all(r.session is None for r in plain.requests)
+        with pytest.raises(ValueError, match="num_sessions"):
+            synthesize_trace(num_requests=5, arrival_rate=5.0,
+                             num_sessions=0)
 
 
 class TestServingSimulator:
@@ -116,6 +129,37 @@ class TestServingSimulator:
                              max_batch=0)
 
 
+class TestReportEdgeCases:
+    def test_single_request_percentiles_collapse(self):
+        """With one request, every percentile is that request's value."""
+        trace = WorkloadTrace((Request(0, 0.5, 4, 3),))
+        prompt_t, step_t = unit_costs(prompt_cost=1.0, step_cost=0.1)
+        rep = simulate_serving(trace, prompt_time=prompt_t,
+                               step_time=step_t, max_batch=2)
+        lat = rep.latency(trace.requests[0])
+        for q in (0, 50, 99, 100):
+            assert rep.latency_percentile(trace, q) == pytest.approx(lat)
+        assert rep.ttft_percentile(trace, 99) == pytest.approx(1.0)
+
+    def test_tokens_per_second_zero_makespan(self):
+        """A degenerate report must not divide by zero."""
+        rep = ServingReport(makespan=0.0, finish_times={},
+                            first_token_times={}, queue_delays={},
+                            total_tokens=0)
+        assert rep.tokens_per_second == 0.0
+
+    def test_ttft_when_request_finishes_during_prompt_pass(self):
+        """gen_tokens=1 retires inside the prompt pass: first token and
+        finish coincide at the end of that pass."""
+        trace = WorkloadTrace((Request(0, 0.0, 4, 1),))
+        prompt_t, step_t = unit_costs(prompt_cost=1.0, step_cost=0.1)
+        rep = simulate_serving(trace, prompt_time=prompt_t,
+                               step_time=step_t, max_batch=2)
+        assert rep.first_token_times[0] == pytest.approx(1.0)
+        assert rep.finish_times[0] == rep.first_token_times[0]
+        assert rep.total_tokens == 1
+
+
 class TestSchedulerReplay:
     """The analytical path replays the shared Scheduler and exposes it."""
 
@@ -180,7 +224,15 @@ class TestModelIntegration:
 @settings(max_examples=30, deadline=None)
 def test_serving_conservation_property(n, rate, cap):
     """Properties: all requests finish after they arrive; token accounting
-    is exact; higher capacity never slows the makespan."""
+    is exact; higher capacity never slows a *saturated* makespan.
+
+    Capacity monotonicity is checked on a copy of the trace with every
+    arrival moved to t=0. With staggered arrivals it is genuinely false:
+    greedy admission exhibits Graham-style scheduling anomalies, where a
+    larger batch cap admits an extra request into an idle gap and delays
+    decode rounds for in-flight work (e.g. n=23, rate=18, cap=2 with the
+    costs below).
+    """
     trace = synthesize_trace(num_requests=n, arrival_rate=rate,
                              mean_prompt=8, mean_gen=4, seed=n)
     prompt_t, step_t = (lambda b, p: 0.01, lambda b: 0.02)
@@ -190,6 +242,13 @@ def test_serving_conservation_property(n, rate, cap):
         assert rep.finish_times[r.request_id] >= r.arrival
         assert rep.first_token_times[r.request_id] >= r.arrival
     assert rep.total_tokens == trace.total_gen_tokens
-    bigger = simulate_serving(trace, prompt_time=prompt_t, step_time=step_t,
-                              max_batch=cap + 1)
-    assert bigger.makespan <= rep.makespan + 1e-9
+    saturated = WorkloadTrace(requests=[
+        Request(request_id=r.request_id, arrival=0.0,
+                prompt_len=r.prompt_len, gen_tokens=r.gen_tokens)
+        for r in trace.requests
+    ])
+    small = simulate_serving(saturated, prompt_time=prompt_t,
+                             step_time=step_t, max_batch=cap)
+    bigger = simulate_serving(saturated, prompt_time=prompt_t,
+                              step_time=step_t, max_batch=cap + 1)
+    assert bigger.makespan <= small.makespan + 1e-9
