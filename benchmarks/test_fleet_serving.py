@@ -9,7 +9,7 @@ degrades without the makespan diverging.
 
 import numpy as np
 
-from repro.engine import DenseLatencyModel, serving_step_times, synthesize_trace
+from repro.engine import DenseLatencyModel, DenseStepCost, synthesize_trace
 from repro.fleet import FaultPlan, ReplicaFault, simulate_fleet
 from repro.hardware import dgx_a100_cluster
 from repro.model import DENSE_ZOO
@@ -20,21 +20,19 @@ TRACE = synthesize_trace(num_requests=200, arrival_rate=80.0,
 
 def _costs():
     model = DenseLatencyModel(DENSE_ZOO["gpt-13b"], dgx_a100_cluster(1), tp=2)
-    return serving_step_times(model, mean_prompt=128, mean_gen=16)
+    return DenseStepCost(model, representative_kv=128 + 16 // 2)
 
 
 def test_fleet_scales_out_a_serving_trace(benchmark):
     """4 replicas behind least-outstanding routing: near-linear scale-out
     on an arrival-bound trace."""
-    prompt_t, step_t = _costs()
+    costs = _costs()
 
     def serve():
         return (
-            simulate_fleet(TRACE, num_replicas=1, prompt_time=prompt_t,
-                           step_time=step_t, max_batch=8,
+            simulate_fleet(TRACE, num_replicas=1, costs=costs, max_batch=8,
                            routing="least_outstanding"),
-            simulate_fleet(TRACE, num_replicas=4, prompt_time=prompt_t,
-                           step_time=step_t, max_batch=8,
+            simulate_fleet(TRACE, num_replicas=4, costs=costs, max_batch=8,
                            routing="least_outstanding"),
         )
 
@@ -51,19 +49,17 @@ def test_fleet_scales_out_a_serving_trace(benchmark):
 def test_fleet_survives_replica_crash(benchmark):
     """Kill 1 of 4 replicas mid-trace: 100% completion via requeue, load
     shifts to the survivors, the P99 tail pays for it."""
-    prompt_t, step_t = _costs()
+    costs = _costs()
     t_crash = TRACE.duration / 2
     plan = FaultPlan((ReplicaFault(replica=1, time=t_crash),))
 
     def serve():
-        return simulate_fleet(TRACE, num_replicas=4, prompt_time=prompt_t,
-                              step_time=step_t, max_batch=8,
+        return simulate_fleet(TRACE, num_replicas=4, costs=costs, max_batch=8,
                               routing="least_outstanding", fault_plan=plan)
 
     faulted = benchmark.pedantic(serve, rounds=3, iterations=1,
                                  warmup_rounds=1)
-    healthy = simulate_fleet(TRACE, num_replicas=4, prompt_time=prompt_t,
-                             step_time=step_t, max_batch=8,
+    healthy = simulate_fleet(TRACE, num_replicas=4, costs=costs, max_batch=8,
                              routing="least_outstanding")
     assert faulted.num_completed == len(TRACE.requests)
     assert np.isfinite(faulted.makespan)

@@ -12,8 +12,8 @@ import numpy as np
 
 from repro.engine import (
     DenseLatencyModel,
+    DenseStepCost,
     GenerationSession,
-    serving_step_times,
     simulate_serving,
     synthesize_trace,
 )
@@ -71,11 +71,10 @@ def test_analytical_replay_reports_sla_numbers(benchmark):
     trace = synthesize_trace(num_requests=64, arrival_rate=20.0,
                              mean_prompt=128, mean_gen=16, seed=3)
     model = DenseLatencyModel(DENSE_ZOO["gpt-13b"], dgx_a100_cluster(1), tp=4)
-    prompt_t, step_t = serving_step_times(model, mean_prompt=128, mean_gen=16)
+    costs = DenseStepCost(model, representative_kv=128 + 16 // 2)
 
     rep = benchmark.pedantic(
-        lambda: simulate_serving(trace, prompt_time=prompt_t,
-                                 step_time=step_t, max_batch=16),
+        lambda: simulate_serving(trace, costs=costs, max_batch=16),
         rounds=3, iterations=1, warmup_rounds=1,
     )
     p50 = rep.ttft_percentile(trace, 50)

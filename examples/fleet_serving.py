@@ -27,7 +27,7 @@ import tempfile
 
 import numpy as np
 
-from repro.engine import DenseLatencyModel, serving_step_times, synthesize_trace
+from repro.engine import DenseLatencyModel, DenseStepCost, synthesize_trace
 from repro.fleet import (
     FaultPlan,
     ReplicaFault,
@@ -46,17 +46,15 @@ def crash_demo() -> None:
     print("=== 4-replica fleet, one crash mid-trace (analytical) ===")
     cluster = dgx_a100_cluster(1)
     lat = DenseLatencyModel(DENSE_ZOO["gpt-13b"], cluster, tp=2)
-    prompt_t, step_t = serving_step_times(lat, mean_prompt=128, mean_gen=16)
+    costs = DenseStepCost(lat)  # true-KV pricing (repro.engine.costs)
     trace = synthesize_trace(num_requests=120, arrival_rate=80.0,
                              mean_prompt=128, mean_gen=16, seed=9)
     t_crash = trace.duration / 2
     plan = FaultPlan((ReplicaFault(replica=2, time=t_crash),))
 
-    healthy = simulate_fleet(trace, num_replicas=NUM_REPLICAS,
-                             prompt_time=prompt_t, step_time=step_t,
+    healthy = simulate_fleet(trace, num_replicas=NUM_REPLICAS, costs=costs,
                              max_batch=8, routing="least_outstanding")
-    faulted = simulate_fleet(trace, num_replicas=NUM_REPLICAS,
-                             prompt_time=prompt_t, step_time=step_t,
+    faulted = simulate_fleet(trace, num_replicas=NUM_REPLICAS, costs=costs,
                              max_batch=8, routing="least_outstanding",
                              fault_plan=plan)
 

@@ -26,8 +26,8 @@ import numpy as np
 
 from repro.engine import (
     DenseLatencyModel,
+    DenseStepCost,
     GenerationSession,
-    serving_step_times,
     simulate_serving,
     synthesize_trace,
     tune_dense_deployment,
@@ -87,11 +87,11 @@ def analytical_serving_demo() -> None:
     print("\n=== analytical replay: the same scheduler, priced ===")
     cluster = dgx_a100_cluster(1)
     lat = DenseLatencyModel(DENSE_ZOO["gpt-13b"], cluster, tp=4)
-    prompt_t, step_t = serving_step_times(lat, mean_prompt=128, mean_gen=16)
+    # True-KV pricing: each decode step costs what the live batch's
+    # actual context lengths imply (see repro.engine.costs).
     trace = synthesize_trace(num_requests=80, arrival_rate=25.0,
                              mean_prompt=128, mean_gen=16, seed=5)
-    rep = simulate_serving(trace, prompt_time=prompt_t, step_time=step_t,
-                           max_batch=16)
+    rep = simulate_serving(trace, costs=DenseStepCost(lat), max_batch=16)
     print(f"  {len(trace.requests)} requests -> "
           f"{rep.tokens_per_second:7.0f} tok/s, "
           f"TTFT p50 {rep.ttft_percentile(trace, 50) * 1e3:6.1f} ms, "

@@ -293,20 +293,16 @@ def ablation_serving_load() -> ExperimentResult:
     toward the server's capacity, queueing pushes P99 (and eventually
     P50) end-to-end latency up while sustained throughput saturates.
     """
-    from ..engine.serving_sim import (
-        serving_step_times,
-        simulate_serving,
-        synthesize_trace,
-    )
+    from ..engine.costs import DenseStepCost
+    from ..engine.serving_sim import simulate_serving, synthesize_trace
 
     model = DenseLatencyModel(DENSE_ZOO["gpt-13b"], dgx_a100_cluster(1), tp=4)
-    prompt_t, step_t = serving_step_times(model, mean_prompt=128, mean_gen=16)
+    costs = DenseStepCost(model, representative_kv=128 + 16 // 2)
     rows = []
     for rate in (2.0, 5.0, 10.0, 20.0, 40.0):
         trace = synthesize_trace(num_requests=120, arrival_rate=rate,
                                  mean_prompt=128, mean_gen=16, seed=7)
-        rep = simulate_serving(trace, prompt_time=prompt_t, step_time=step_t,
-                               max_batch=16)
+        rep = simulate_serving(trace, costs=costs, max_batch=16)
         rows.append(
             {
                 "req_per_s": rate,

@@ -1,6 +1,16 @@
 """Inference engines: dense and MoE latency/throughput models, activation
 offloading, and the user-facing facades."""
 
+from .costs import (
+    BatchState,
+    ClosureStepCost,
+    DenseStepCost,
+    MoEStepCost,
+    PromptShape,
+    StepCostModel,
+    ZeroStepCost,
+    resolve_step_costs,
+)
 from .generation import GenerationRequest, GenerationSession
 from .inference import InferenceEngine, MoEInferenceEngine
 from .latency import DenseLatencyModel, LatencyReport, Workload
@@ -10,6 +20,7 @@ from .serving_sim import (
     Request,
     ServingReport,
     WorkloadTrace,
+    batch_state_of,
     serving_step_times,
     simulate_serving,
     synthesize_trace,
@@ -19,6 +30,7 @@ from .offload import (
     kv_offload_overflow,
     kv_offload_stall_per_step,
     max_batch_size,
+    moe_max_batch_size,
     simulate_offload,
 )
 from .throughput import ThroughputPoint, best_throughput, candidate_batches
@@ -32,10 +44,20 @@ from .tuner import (
 
 __all__ = [
     "ADMISSION_POLICIES",
+    "BatchState",
+    "ClosureStepCost",
+    "DenseStepCost",
+    "MoEStepCost",
+    "PromptShape",
     "SchedRequest",
     "Scheduler",
     "SchedulerEvent",
     "ServingTuningResult",
+    "StepCostModel",
+    "ZeroStepCost",
+    "batch_state_of",
+    "moe_max_batch_size",
+    "resolve_step_costs",
     "tune_serving_deployment",
     "DenseLatencyModel",
     "GenerationRequest",

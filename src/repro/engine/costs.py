@@ -1,0 +1,302 @@
+"""Step-cost models: one pricing interface for every model family.
+
+The serving ladder — :class:`~repro.engine.scheduler.Scheduler` →
+:func:`~repro.engine.serving_sim.simulate_serving` →
+:func:`~repro.fleet.sim.simulate_fleet` → the tuners — makes *lifecycle*
+decisions; what turns those decisions into seconds is a pricing model.
+Historically that seam was a pair of closures built by
+:func:`~repro.engine.serving_sim.serving_step_times` around the dense
+latency model only, and every decode step was priced at one
+representative KV length. This module replaces the closure pair with a
+first-class interface so any model family (dense, sparse/MoE,
+ZeRO-offloaded — the paper's three pillars, Secs. IV-VI) plugs into the
+same serving/fleet/tuning stack with one adapter:
+
+* :class:`BatchState` — the live batch at pricing time: one KV length
+  per running sequence (prompt + tokens generated so far);
+* :class:`StepCostModel` — ``prompt_cost(state, request)`` prices
+  admitting one prompt while ``state`` (the sequences already live)
+  rides along in the same iteration (Sec. IV-C1's hybrid prompt+token
+  scheduling); ``decode_cost(state)`` prices one decode iteration that
+  generates one token for every sequence in ``state``;
+* :class:`DenseStepCost` — wraps :class:`~repro.engine.latency
+  .DenseLatencyModel`. ``representative_kv`` selects the legacy compat
+  mode (bit-for-bit the old ``serving_step_times`` numbers); the default
+  true-KV mode prices each decode at the batch's actual KV lengths;
+* :class:`MoEStepCost` — wraps :class:`~repro.engine.moe
+  .MoELatencyModel` (gating + all-to-all + expert FFN per step);
+* :class:`ZeroStepCost` — wraps :class:`~repro.zero.inference
+  .ZeroInferenceEngine`'s streamed forward pass;
+* :class:`ClosureStepCost` — wraps a legacy ``(prompt_time,
+  step_time)`` closure pair, so existing call sites keep working.
+
+Adapters memoize on the (batch, kv, prompt_len) shapes they price —
+a serving replay re-prices the same few shapes thousands of times.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Callable, Protocol, runtime_checkable
+
+__all__ = [
+    "BatchState",
+    "PromptShape",
+    "StepCostModel",
+    "ClosureStepCost",
+    "DenseStepCost",
+    "MoEStepCost",
+    "ZeroStepCost",
+    "resolve_step_costs",
+]
+
+
+@runtime_checkable
+class _HasPromptLen(Protocol):
+    prompt_len: int
+
+
+@dataclass(frozen=True)
+class PromptShape:
+    """Minimal request stand-in for pricing: just the prompt length.
+
+    Any object with a ``prompt_len`` attribute (``SchedRequest``, a
+    trace ``Request``) works where a "request" is expected; this class
+    exists for callers that have only the number.
+    """
+
+    prompt_len: int
+
+    def __post_init__(self) -> None:
+        if self.prompt_len < 1:
+            raise ValueError("prompt_len must be >= 1")
+
+
+@dataclass(frozen=True)
+class BatchState:
+    """The live batch at pricing time.
+
+    ``kv_lens[i]`` is sequence ``i``'s context length — its prompt plus
+    every token generated so far. An empty state is legal (pricing a
+    prompt pass that joins an idle server has no riders).
+    """
+
+    kv_lens: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if any(kv < 1 for kv in self.kv_lens):
+            raise ValueError("KV lengths must be >= 1")
+
+    @property
+    def batch(self) -> int:
+        """Number of live sequences."""
+        return len(self.kv_lens)
+
+    @property
+    def total_kv(self) -> int:
+        """Sum of context lengths — the attention work of one decode."""
+        return sum(self.kv_lens)
+
+    @property
+    def mean_kv(self) -> int:
+        """Ceiling of the mean context length (0 for an empty state).
+
+        Per-step attention cost is linear in each sequence's KV length,
+        so a uniform batch at the mean prices the same attention work as
+        the ragged batch; the ceiling keeps the pricing conservative.
+        """
+        if not self.kv_lens:
+            return 0
+        return math.ceil(self.total_kv / self.batch)
+
+    @property
+    def max_kv(self) -> int:
+        """Longest context in the batch (0 for an empty state)."""
+        return max(self.kv_lens, default=0)
+
+    @classmethod
+    def uniform(cls, batch: int, kv_len: int) -> "BatchState":
+        """A batch of ``batch`` sequences all at ``kv_len``."""
+        if batch < 0:
+            raise ValueError("batch must be >= 0")
+        return cls((kv_len,) * batch)
+
+
+class StepCostModel(ABC):
+    """Prices a continuous-batching server's two iteration kinds.
+
+    The serving/fleet simulators call these with states built from the
+    shared scheduler, so every model family sees exactly the decisions
+    the dense path sees — only the seconds differ.
+    """
+
+    @abstractmethod
+    def prompt_cost(self, state: BatchState, request: _HasPromptLen) -> float:
+        """Seconds to admit ``request`` (its full prompt pass) while the
+        ``state`` sequences — the batch *excluding* the newcomer — each
+        ride along for one decode token in the same iteration."""
+
+    @abstractmethod
+    def decode_cost(self, state: BatchState) -> float:
+        """Seconds for one decode iteration generating one token for
+        every sequence in ``state`` (``state.batch >= 1``)."""
+
+
+class ClosureStepCost(StepCostModel):
+    """Adapter over the legacy ``(prompt_time, step_time)`` closure pair.
+
+    ``prompt_time(batch, prompt_len)`` takes the batch size *including*
+    the admitted request (the pre-refactor convention); ``step_time
+    (batch)`` the live batch size. State KV contents are ignored — the
+    closures never saw them either.
+    """
+
+    def __init__(
+        self,
+        prompt_time: Callable[[int, int], float],
+        step_time: Callable[[int], float],
+    ) -> None:
+        self._prompt_time = prompt_time
+        self._step_time = step_time
+
+    def prompt_cost(self, state: BatchState, request: _HasPromptLen) -> float:
+        return self._prompt_time(state.batch + 1, request.prompt_len)
+
+    def decode_cost(self, state: BatchState) -> float:
+        return self._step_time(state.batch)
+
+
+class DenseStepCost(StepCostModel):
+    """Price serving steps with a :class:`DenseLatencyModel`.
+
+    ``representative_kv`` selects the compat mode: every decode (and
+    every rider folded into a prompt pass) is priced at that one KV
+    length, reproducing the deprecated
+    :func:`~repro.engine.serving_sim.serving_step_times` closures
+    bit-for-bit (they used ``mean_prompt + mean_gen // 2``). With the
+    default ``None``, each call is priced at the live batch's actual
+    KV-length distribution (the ceiling-mean, exact for the
+    linear-in-KV attention term).
+    """
+
+    def __init__(self, latency_model, *, representative_kv: int | None = None) -> None:
+        if representative_kv is not None and representative_kv < 1:
+            raise ValueError("representative_kv must be >= 1 when given")
+        self.latency_model = latency_model
+        self.representative_kv = representative_kv
+        self._memo: dict[tuple, float] = {}
+
+    def _rider_kv(self, state: BatchState) -> int:
+        if self.representative_kv is not None:
+            return self.representative_kv
+        return max(1, state.mean_kv)
+
+    def prompt_cost(self, state: BatchState, request: _HasPromptLen) -> float:
+        riders = state.batch
+        kv = self._rider_kv(state) if riders else 0
+        key = ("prompt", request.prompt_len, riders, kv)
+        got = self._memo.get(key)
+        if got is None:
+            k, c = self.latency_model.step_time(
+                1, request.prompt_len, request.prompt_len)
+            if riders:  # the live batch rides along in the same iteration
+                dk, dc = self.latency_model.step_time(riders, 1, kv)
+                k, c = k + dk, c + dc
+            got = self._memo[key] = k + c
+        return got
+
+    def decode_cost(self, state: BatchState) -> float:
+        kv = self._rider_kv(state)
+        key = ("decode", state.batch, kv)
+        got = self._memo.get(key)
+        if got is None:
+            k, c = self.latency_model.step_time(max(1, state.batch), 1, kv)
+            got = self._memo[key] = k + c
+        return got
+
+
+class MoEStepCost(StepCostModel):
+    """Price serving steps with a :class:`MoELatencyModel`.
+
+    The MoE model is token-count driven — gating, the two all-to-alls,
+    and the expert FFN all scale with the tokens flowing through a step
+    — so a prompt pass of ``L`` tokens is priced as a step carrying
+    ``L`` tokens attending over the prompt, and a decode iteration as a
+    step carrying one token per live sequence at the batch's KV lengths.
+    """
+
+    def __init__(self, moe_model) -> None:
+        self.moe_model = moe_model
+        self._memo: dict[tuple, float] = {}
+
+    def _step(self, tokens: int, kv: int) -> float:
+        key = (tokens, kv)
+        got = self._memo.get(key)
+        if got is None:
+            got = self._memo[key] = self.moe_model.token_step(tokens, kv).total
+        return got
+
+    def prompt_cost(self, state: BatchState, request: _HasPromptLen) -> float:
+        cost = self._step(request.prompt_len, request.prompt_len)
+        if state.batch:  # the live batch rides along in the same iteration
+            cost += self._step(state.batch, max(1, state.mean_kv))
+        return cost
+
+    def decode_cost(self, state: BatchState) -> float:
+        return self._step(max(1, state.batch), max(1, state.mean_kv))
+
+
+class ZeroStepCost(StepCostModel):
+    """Price serving steps with a :class:`ZeroInferenceEngine`.
+
+    Every iteration streams the full weight set through the GPUs (Sec.
+    VI-A), so per-step cost is dominated by the fetch/compute overlap
+    the engine's prefetch pipeline models. This is a throughput-oriented
+    backend: sensible traces batch aggressively, and the tuners treat it
+    as such.
+    """
+
+    def __init__(self, zero_engine) -> None:
+        self.zero_engine = zero_engine
+        self._memo: dict[tuple, float] = {}
+
+    def _pass(self, batch: int, tokens_per_seq: int, kv: int) -> float:
+        key = (batch, tokens_per_seq, kv)
+        got = self._memo.get(key)
+        if got is None:
+            got = self._memo[key] = self.zero_engine.forward_pass(
+                batch=batch, tokens_per_seq=tokens_per_seq, kv_len=kv).time
+        return got
+
+    def prompt_cost(self, state: BatchState, request: _HasPromptLen) -> float:
+        cost = self._pass(1, request.prompt_len, request.prompt_len)
+        if state.batch:  # riders pay a decode pass in the same round
+            cost += self._pass(state.batch, 1, max(1, state.mean_kv))
+        return cost
+
+    def decode_cost(self, state: BatchState) -> float:
+        return self._pass(max(1, state.batch), 1, max(1, state.mean_kv))
+
+
+def resolve_step_costs(
+    costs: StepCostModel | None,
+    prompt_time: Callable[[int, int], float] | None,
+    step_time: Callable[[int], float] | None,
+) -> StepCostModel:
+    """Normalize the dual pricing interface of the serving entry points.
+
+    Callers pass either ``costs`` (a :class:`StepCostModel`) or the
+    legacy ``prompt_time``/``step_time`` closure pair — never both.
+    """
+    if costs is not None:
+        if prompt_time is not None or step_time is not None:
+            raise ValueError(
+                "pass either costs= or prompt_time=/step_time=, not both")
+        return costs
+    if prompt_time is None or step_time is None:
+        raise ValueError(
+            "pricing required: pass costs= (a StepCostModel) or both "
+            "prompt_time= and step_time=")
+    return ClosureStepCost(prompt_time, step_time)

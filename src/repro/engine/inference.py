@@ -13,7 +13,6 @@ small configurations; performance estimation works at any scale.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 
 import numpy as np
 

@@ -28,6 +28,7 @@ __all__ = [
     "kv_offload_overflow",
     "kv_offload_stall_per_step",
     "max_batch_size",
+    "moe_max_batch_size",
     "simulate_offload",
 ]
 
@@ -69,6 +70,42 @@ def max_batch_size(
     )  # a node holds one stage's TP group
     dram_bound = int(dram_budget / kv_per_seq_node)
     return max(0, min(gpu_bound, dram_bound))
+
+
+def moe_max_batch_size(
+    config: ModelConfig,
+    cluster: ClusterSpec,
+    parallelism,
+    *,
+    seq_len: int,
+    dtype: DType = DType.FP16,
+    headroom: float = 0.90,
+) -> int:
+    """Largest batch an MoE deployment's per-GPU memory sustains.
+
+    :func:`max_batch_size` divides the *total* parameter count by
+    ``tp * pp``, which is wrong for MoE: the dense trunk is sharded
+    ``mp_degree`` ways (and replicated across expert-parallel groups),
+    while the expert parameters spread over ``ep_degree *
+    expert_slicing`` ranks (Sec. V-A). KV cache lives with the dense
+    trunk, so it shards ``mp_degree`` ways.
+    """
+    if config.moe is None:
+        raise ValueError(f"{config.name} is not an MoE model")
+    if seq_len < 1:
+        raise ValueError("seq_len must be >= 1")
+    budget = cluster.gpu.memory_bytes * headroom
+    weights = (
+        config.base_params / parallelism.mp_degree
+        + config.expert_params
+        / (parallelism.ep_degree * parallelism.expert_slicing)
+    ) * dtype.itemsize
+    if weights >= budget:
+        return 0
+    kv_per_seq_gpu = (
+        seq_len * config.kv_bytes_per_token(dtype) / parallelism.mp_degree
+    )
+    return int((budget - weights) / kv_per_seq_gpu)
 
 
 def kv_offload_overflow(

@@ -4,15 +4,15 @@ The paper's latency/throughput numbers are per-batch; production systems
 (Sec. I's "online scenarios") face *arrival processes*: requests queue,
 join the running batch, and leave on completion. This module synthesizes
 request traces and replays them through a continuous-batching server
-whose per-iteration costs come from any step-time model (the dense
-latency engine supplies them), reporting time-to-first-token and
-end-to-end latency percentiles plus sustained throughput — the numbers
-an operator actually quotes against an SLA.
+whose per-iteration costs come from any :class:`~repro.engine.costs
+.StepCostModel` — dense, MoE, or ZeRO-offloaded — reporting
+time-to-first-token and end-to-end latency percentiles plus sustained
+throughput — the numbers an operator actually quotes against an SLA.
 
 Admission and retirement decisions are **not** made here: the replay
 drives the same :class:`~repro.engine.scheduler.Scheduler` that the
 functional :class:`~repro.engine.generation.GenerationSession` uses, and
-merely *prices* its decisions with the latency model — so the analytical
+merely *prices* its decisions with the cost model — so the analytical
 and functional serving paths cannot diverge. The scheduler (with its
 event log) and a priced :class:`~repro.simcore.trace.Timeline` come back
 on the report for chrome-trace export.
@@ -20,12 +20,15 @@ on the report for chrome-trace export.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable
 
 import numpy as np
 
 from ..simcore.trace import Timeline
+from .costs import BatchState, DenseStepCost, PromptShape, StepCostModel, resolve_step_costs
+from .report_stats import ReportStats
 from .scheduler import SchedRequest, Scheduler
 
 __all__ = [
@@ -35,6 +38,7 @@ __all__ = [
     "ServingReport",
     "simulate_serving",
     "serving_step_times",
+    "batch_state_of",
 ]
 
 
@@ -130,8 +134,14 @@ def synthesize_trace(
 
 
 @dataclass(frozen=True)
-class ServingReport:
-    """Outcome of replaying one trace."""
+class ServingReport(ReportStats):
+    """Outcome of replaying one trace.
+
+    Percentile/throughput views (``latency``, ``ttft``,
+    ``latency_percentile``, ``ttft_percentile``, ``tokens_per_second``)
+    come from :class:`~repro.engine.report_stats.ReportStats`, shared
+    with the fleet layer's report.
+    """
 
     makespan: float
     finish_times: dict[int, float]
@@ -141,36 +151,31 @@ class ServingReport:
     scheduler: Scheduler | None = field(default=None, compare=False)
     timeline: Timeline | None = field(default=None, compare=False)
 
-    def latency(self, request: Request) -> float:
-        """End-to-end latency of one request."""
-        return self.finish_times[request.request_id] - request.arrival
 
-    def _percentile(self, values: list[float], q: float) -> float:
-        return float(np.percentile(np.array(values), q))
+def batch_state_of(
+    sched: Scheduler,
+    prompt_lens: dict[int, int],
+    *,
+    exclude: int | None = None,
+) -> BatchState:
+    """The live batch's :class:`BatchState` as seen by the scheduler.
 
-    def latency_percentile(self, trace: WorkloadTrace, q: float) -> float:
-        """qth percentile of end-to-end latency."""
-        return self._percentile([self.latency(r) for r in trace.requests], q)
-
-    def ttft_percentile(self, trace: WorkloadTrace, q: float) -> float:
-        """qth percentile of time to first token."""
-        return self._percentile(
-            [self.first_token_times[r.request_id] - r.arrival
-             for r in trace.requests],
-            q,
-        )
-
-    @property
-    def tokens_per_second(self) -> float:
-        """Sustained generation throughput over the busy period."""
-        return self.total_tokens / self.makespan if self.makespan > 0 else 0.0
+    Each active sequence's KV length is its prompt plus the tokens
+    recorded so far; ``exclude`` drops one request id (used to price a
+    prompt pass against the *riders*, not the newcomer itself).
+    """
+    return BatchState(tuple(
+        prompt_lens[rid] + sched.generated(rid)
+        for rid in sched.active if rid != exclude
+    ))
 
 
 def simulate_serving(
     trace: WorkloadTrace,
     *,
-    prompt_time: Callable[[int, int], float],
-    step_time: Callable[[int], float],
+    costs: StepCostModel | None = None,
+    prompt_time: Callable[[int, int], float] | None = None,
+    step_time: Callable[[int], float] | None = None,
     max_batch: int,
     policy: str = "fcfs",
 ) -> ServingReport:
@@ -179,11 +184,13 @@ def simulate_serving(
     Lifecycle decisions come from the shared
     :class:`~repro.engine.scheduler.Scheduler` (the same class the
     functional engine runs); this function only maps arrivals into the
-    queue and prices the scheduler's decisions. ``prompt_time(batch,
-    prompt_len)`` prices admitting one request's prompt at the running
-    batch size after admission; ``step_time(batch)`` prices one decode
-    iteration generating one token for each of ``batch`` live sequences.
-    Both come from the performance model (see :func:`serving_step_times`).
+    queue and prices the scheduler's decisions with ``costs`` (any
+    :class:`~repro.engine.costs.StepCostModel`:
+    :class:`~repro.engine.costs.DenseStepCost`,
+    :class:`~repro.engine.costs.MoEStepCost`,
+    :class:`~repro.engine.costs.ZeroStepCost`, ...). The legacy
+    ``prompt_time(batch, prompt_len)`` / ``step_time(batch)`` closure
+    pair is still accepted in place of ``costs``.
 
     The returned report carries the scheduler (event log, orderings) and
     a priced :class:`Timeline` — per-request queued/decode lanes plus a
@@ -192,6 +199,8 @@ def simulate_serving(
     """
     if max_batch < 1:
         raise ValueError("max_batch must be >= 1")
+    cost_model = resolve_step_costs(costs, prompt_time, step_time)
+    plens = {r.request_id: r.prompt_len for r in trace.requests}
     sched = Scheduler(max_batch, policy=policy)
     timeline = Timeline()
     requests = trace.requests
@@ -231,7 +240,8 @@ def simulate_serving(
             s = admitted[0]
             delays[s.request_id] = now - s.arrival
             start = now
-            now += prompt_time(sched.num_active, s.prompt_len)
+            now += cost_model.prompt_cost(
+                batch_state_of(sched, plens, exclude=s.request_id), s)
             timeline.record("server", start, now, f"prefill r{s.request_id}")
             timeline.record(f"req-{s.request_id}", s.arrival, start, "queued")
             admit_at[s.request_id] = now
@@ -247,7 +257,7 @@ def simulate_serving(
         # whatever the batch size (the batched-forward semantics).
         batch = sched.num_active
         start = now
-        now += step_time(batch)
+        now += cost_model.decode_cost(batch_state_of(sched, plens))
         timeline.record("server", start, now, f"decode x{batch}")
         total_tokens += batch
         for rid in sched.active:
@@ -268,27 +278,32 @@ def simulate_serving(
 
 
 def serving_step_times(latency_model, *, mean_prompt: int, mean_gen: int):
-    """Build (prompt_time, step_time) callables from a dense latency model.
+    """Deprecated: build (prompt_time, step_time) closures from a dense
+    latency model.
 
-    The decode step is priced at a representative KV length (prompt plus
-    half the generation); prompt passes at their own length.
-    ``prompt_time(batch, prompt_len)`` prices the admission *at the
-    running batch size*: the engine folds one decode iteration for the
-    ``batch - 1`` sequences already live into the same pass (Sec.
-    IV-C1's hybrid prompt+token scheduling), so admitting into a busy
-    server costs more than admitting into an idle one.
+    This is a thin shim over :class:`~repro.engine.costs.DenseStepCost`
+    in its ``representative_kv`` compat mode (``mean_prompt + mean_gen
+    // 2``) and reproduces its numbers bit-for-bit. New code should pass
+    ``costs=DenseStepCost(latency_model, ...)`` to
+    :func:`simulate_serving` / :func:`~repro.fleet.sim.simulate_fleet`
+    directly — the default (no ``representative_kv``) prices each decode
+    at the batch's *actual* KV lengths instead of one representative
+    point.
     """
-    kv = mean_prompt + mean_gen // 2
+    warnings.warn(
+        "serving_step_times is deprecated; pass a StepCostModel (e.g. "
+        "DenseStepCost) via the costs= parameter instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    costs = DenseStepCost(latency_model,
+                          representative_kv=mean_prompt + mean_gen // 2)
 
     def prompt_time(batch: int, prompt_len: int) -> float:
-        k, c = latency_model.step_time(1, prompt_len, prompt_len)
-        if batch > 1:  # the live batch rides along in the same iteration
-            dk, dc = latency_model.step_time(batch - 1, 1, kv)
-            k, c = k + dk, c + dc
-        return k + c
+        riders = BatchState.uniform(max(0, batch - 1), 1)
+        return costs.prompt_cost(riders, PromptShape(prompt_len))
 
     def step_time(batch: int) -> float:
-        k, c = latency_model.step_time(max(1, batch), 1, kv)
-        return k + c
+        return costs.decode_cost(BatchState.uniform(max(1, batch), 1))
 
     return prompt_time, step_time

@@ -25,10 +25,12 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..hardware.topology import ClusterSpec
-from ..model.config import ModelConfig
+from ..model.config import ModelConfig, MoEParallelism
+from .costs import DenseStepCost, MoEStepCost
 from .latency import DenseLatencyModel, Workload
-from .offload import max_batch_size
-from .serving_sim import WorkloadTrace, serving_step_times, simulate_serving
+from .moe import MoELatencyModel
+from .offload import max_batch_size, moe_max_batch_size
+from .serving_sim import WorkloadTrace, simulate_serving
 from .throughput import candidate_batches
 
 __all__ = [
@@ -65,6 +67,61 @@ def _tp_candidates(config: ModelConfig, cluster: ClusterSpec, max_gpus: int):
         if config.heads % tp == 0:
             yield tp
         tp *= 2
+
+
+def _moe_parallelism_candidates(
+    config: ModelConfig, cluster: ClusterSpec, max_gpus: int
+):
+    """Table II-shaped deployments fitting ``max_gpus``: each tensor
+    (MP) degree paired with the largest power-of-two expert-parallel
+    degree ``>= mp`` the budget allows (``num_gpus = ep_degree``, the
+    MP groups nest inside the EP ranks, Sec. V-A)."""
+    for mp in _tp_candidates(config, cluster, max_gpus):
+        ep, best_ep = 1, None
+        while ep <= min(config.moe.num_experts, max_gpus):
+            if ep >= mp:
+                best_ep = ep
+            ep *= 2
+        if best_ep is None:
+            continue
+        par = MoEParallelism(mp_degree=mp, ep_degree=best_ep,
+                             expert_slicing=1, num_gpus=best_ep)
+        if par.num_gpus <= cluster.num_gpus:
+            yield par
+
+
+def _serving_cost_candidates(
+    config: ModelConfig,
+    cluster: ClusterSpec,
+    *,
+    max_gpus: int,
+    representative_kv: int,
+    seq: int,
+):
+    """Yield ``(tp, num_gpus, batch_cap, costs)`` serving candidates.
+
+    Dense models sweep TP with a compat-mode :class:`DenseStepCost`
+    (``representative_kv`` preserves the pre-cost-model tuner numbers
+    bit-for-bit); MoE models sweep the MP degree of Table II-shaped
+    deployments priced by :class:`MoEStepCost` at true KV lengths.
+    Shared by :func:`tune_serving_deployment` and
+    :func:`repro.fleet.tuning.tune_fleet_deployment`.
+    """
+    if config.moe is None:
+        for tp in _tp_candidates(config, cluster, max_gpus):
+            cap = max_batch_size(config, cluster, tp=tp, pp=1, seq_len=seq)
+            if cap < 1:
+                continue
+            model = DenseLatencyModel(config, cluster, tp=tp)
+            yield tp, tp, cap, DenseStepCost(
+                model, representative_kv=representative_kv)
+    else:
+        for par in _moe_parallelism_candidates(config, cluster, max_gpus):
+            cap = moe_max_batch_size(config, cluster, par, seq_len=seq)
+            if cap < 1:
+                continue
+            model = MoELatencyModel(config, cluster, par, optimized=True)
+            yield par.mp_degree, par.num_gpus, cap, MoEStepCost(model)
 
 
 def tune_dense_deployment(
@@ -162,9 +219,13 @@ def tune_serving_deployment(
     P99 time-to-first-token meets ``ttft_sla`` (seconds; None = no bound).
 
     Each candidate replays ``trace`` through the shared-scheduler
-    simulator priced by a :class:`DenseLatencyModel` (TP only — decode
-    pipelining is not priced at serving granularity). Raises
-    ``ValueError`` when no candidate meets the SLA.
+    simulator priced by a :class:`~repro.engine.costs.StepCostModel`:
+    dense models by :class:`DenseStepCost` over a TP-only
+    :class:`DenseLatencyModel` (decode pipelining is not priced at
+    serving granularity), MoE models by :class:`MoEStepCost` over Table
+    II-shaped MP x EP deployments (``tp`` then reports the MP degree and
+    ``num_gpus`` the whole deployment). Raises ``ValueError`` when no
+    candidate meets the SLA.
     """
     max_gpus = cluster.num_gpus if max_gpus is None else max_gpus
     if max_gpus < 1:
@@ -176,16 +237,11 @@ def tune_serving_deployment(
     seq = max(r.prompt_len + r.gen_tokens for r in trace.requests)
 
     best: ServingTuningResult | None = None
-    for tp in _tp_candidates(config, cluster, max_gpus):
-        cap = max_batch_size(config, cluster, tp=tp, pp=1, seq_len=seq)
-        if cap < 1:
-            continue
-        model = DenseLatencyModel(config, cluster, tp=tp)
-        prompt_t, step_t = serving_step_times(model, mean_prompt=mean_prompt,
-                                              mean_gen=mean_gen)
+    for tp, num_gpus, cap, costs in _serving_cost_candidates(
+            config, cluster, max_gpus=max_gpus,
+            representative_kv=mean_prompt + mean_gen // 2, seq=seq):
         for max_batch in candidate_batches(cap):
-            rep = simulate_serving(trace, prompt_time=prompt_t,
-                                   step_time=step_t, max_batch=max_batch,
+            rep = simulate_serving(trace, costs=costs, max_batch=max_batch,
                                    policy=policy)
             ttft = rep.ttft_percentile(trace, 99)
             if ttft_sla is not None and ttft > ttft_sla:
@@ -195,7 +251,7 @@ def tune_serving_deployment(
                 tokens_per_second=rep.tokens_per_second,
                 ttft_p99=ttft,
                 latency_p99=rep.latency_percentile(trace, 99),
-                num_gpus=tp,
+                num_gpus=num_gpus,
             )
             if best is None or cand.tokens_per_second > best.tokens_per_second:
                 best = cand

@@ -12,10 +12,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-import numpy as np
-
+from ..engine.report_stats import ReportStats
 from ..engine.scheduler import Scheduler
-from ..engine.serving_sim import Request, WorkloadTrace
+from ..engine.serving_sim import WorkloadTrace
 from ..simcore.trace import Timeline
 from .router import RoutingDecision
 
@@ -35,8 +34,17 @@ class ReplicaStats:
 
 
 @dataclass(frozen=True)
-class FleetReport:
-    """Outcome of serving one trace on a replica fleet."""
+class FleetReport(ReportStats):
+    """Outcome of serving one trace on a replica fleet.
+
+    Per-request views (``latency``, ``ttft``) and fleet-wide percentiles
+    / throughput come from :class:`~repro.engine.report_stats
+    .ReportStats`, shared with the single-server report: latency runs
+    from each request's *original* arrival (retries included), TTFT to
+    the first token that survived into the final output — a retried
+    request's clock keeps running through the crash — and
+    ``tokens_per_second`` counts only kept (non-discarded) tokens.
+    """
 
     makespan: float
     finish_times: dict[int, float]        # request -> completion time
@@ -52,39 +60,12 @@ class FleetReport:
     schedulers: tuple[Scheduler, ...] = field(default=(), compare=False)
     timeline: Timeline | None = field(default=None, compare=False)
 
-    # -- per-request views ----------------------------------------------
-
-    def latency(self, request: Request) -> float:
-        """End-to-end latency from *original* arrival (retries included)."""
-        return self.finish_times[request.request_id] - request.arrival
-
-    def ttft(self, request: Request) -> float:
-        """Time to the first token that survived into the final output —
-        a retried request's clock keeps running through the crash."""
-        return self.first_token_times[request.request_id] - request.arrival
-
-    def _percentile(self, values: list[float], q: float) -> float:
-        return float(np.percentile(np.array(values), q))
-
-    def latency_percentile(self, trace: WorkloadTrace, q: float) -> float:
-        """qth percentile of fleet-wide end-to-end latency."""
-        return self._percentile([self.latency(r) for r in trace.requests], q)
-
-    def ttft_percentile(self, trace: WorkloadTrace, q: float) -> float:
-        """qth percentile of fleet-wide time to first (surviving) token."""
-        return self._percentile([self.ttft(r) for r in trace.requests], q)
-
     # -- fleet aggregates -------------------------------------------------
 
     @property
     def num_completed(self) -> int:
         """Requests that finished somewhere in the fleet."""
         return len(self.finish_times)
-
-    @property
-    def tokens_per_second(self) -> float:
-        """Sustained useful throughput (discarded tokens excluded)."""
-        return self.total_tokens / self.makespan if self.makespan > 0 else 0.0
 
     @property
     def request_counts(self) -> tuple[int, ...]:

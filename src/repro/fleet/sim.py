@@ -41,9 +41,10 @@ from typing import Callable
 
 import numpy as np
 
+from ..engine.costs import StepCostModel, resolve_step_costs
 from ..engine.generation import GenerationSession
 from ..engine.scheduler import SchedRequest, Scheduler
-from ..engine.serving_sim import Request, WorkloadTrace
+from ..engine.serving_sim import Request, WorkloadTrace, batch_state_of
 from ..simcore.trace import Timeline
 from .faults import FaultPlan
 from .policies import RoutingPolicy
@@ -65,12 +66,10 @@ class _Replica:
     actions so the fleet event loop can interleave replicas."""
 
     def __init__(self, index: int, *, max_batch: int, policy: str,
-                 prompt_time: Callable[[int, int], float],
-                 step_time: Callable[[int], float]) -> None:
+                 costs: StepCostModel) -> None:
         self.index = index
         self.sched = Scheduler(max_batch, policy=policy)
-        self.prompt_time = prompt_time
-        self.step_time = step_time
+        self.costs = costs
         self.now = 0.0
         self.alive = True
         self.slow_from = _INF
@@ -79,6 +78,7 @@ class _Replica:
         self._mid_round = False
         self.inbox: deque[tuple[float, Request]] = deque()  # delivered, unenqueued
         self.by_id: dict[int, Request] = {}
+        self._plens: dict[int, int] = {}  # request -> prompt_len (for pricing)
         self.admit_start: dict[int, float] = {}
         self.admit_at: dict[int, float] = {}
         self.first: dict[int, float] = {}
@@ -92,6 +92,7 @@ class _Replica:
         """Hand over a routed request (enqueued before the next action)."""
         self.inbox.append((t, request))
         self.by_id[request.request_id] = request
+        self._plens[request.request_id] = request.prompt_len
 
     def _enqueue_arrived(self) -> None:
         while self.inbox and self.inbox[0][0] <= self.now:
@@ -131,8 +132,9 @@ class _Replica:
             s = admitted[0]
             self._mid_round = True
             start = self.now
-            self.now += self._cost(
-                self.prompt_time(self.sched.num_active, s.prompt_len))
+            self.now += self._cost(self.costs.prompt_cost(
+                batch_state_of(self.sched, self._plens,
+                               exclude=s.request_id), s))
             self.timeline.record("server", start, self.now,
                                  f"prefill r{s.request_id}")
             self.timeline.record(f"req-{s.request_id}", s.arrival, start,
@@ -150,7 +152,8 @@ class _Replica:
         if self.sched.num_active:
             batch = self.sched.num_active
             start = self.now
-            self.now += self._cost(self.step_time(batch))
+            self.now += self._cost(self.costs.decode_cost(
+                batch_state_of(self.sched, self._plens)))
             self.timeline.record("server", start, self.now, f"decode x{batch}")
             self.tokens += batch
             for rid in self.sched.active:
@@ -214,8 +217,9 @@ def simulate_fleet(
     trace: WorkloadTrace,
     *,
     num_replicas: int,
-    prompt_time: Callable[[int, int], float],
-    step_time: Callable[[int], float],
+    costs: StepCostModel | None = None,
+    prompt_time: Callable[[int, int], float] | None = None,
+    step_time: Callable[[int], float] | None = None,
     max_batch: int,
     policy: str = "fcfs",
     routing: str | RoutingPolicy = "round_robin",
@@ -223,26 +227,27 @@ def simulate_fleet(
 ) -> FleetReport:
     """Serve ``trace`` on ``num_replicas`` priced replicas behind a router.
 
-    ``prompt_time``/``step_time``/``max_batch``/``policy`` configure
-    every replica exactly as :func:`~repro.engine.serving_sim
-    .simulate_serving` would one server (see
-    :func:`~repro.engine.serving_sim.serving_step_times`); ``routing``
-    names a :data:`~repro.fleet.policies.ROUTING_POLICIES` entry or is a
-    policy instance; ``fault_plan`` scripts crashes/slowdowns. Requests
-    on a crashed replica requeue to the survivors and restart from
-    scratch; the run fails only if every replica crashes (which
-    :meth:`FaultPlan.validate_against` rejects up front).
+    ``costs`` (any :class:`~repro.engine.costs.StepCostModel`; the
+    legacy ``prompt_time``/``step_time`` closure pair is still accepted)
+    plus ``max_batch``/``policy`` configure every replica exactly as
+    :func:`~repro.engine.serving_sim.simulate_serving` would one server;
+    ``routing`` names a :data:`~repro.fleet.policies.ROUTING_POLICIES`
+    entry or is a policy instance; ``fault_plan`` scripts
+    crashes/slowdowns. Requests on a crashed replica requeue to the
+    survivors and restart from scratch; the run fails only if every
+    replica crashes (which :meth:`FaultPlan.validate_against` rejects up
+    front).
     """
     if num_replicas < 1:
         raise ValueError("num_replicas must be >= 1")
     if max_batch < 1:
         raise ValueError("max_batch must be >= 1")
+    cost_model = resolve_step_costs(costs, prompt_time, step_time)
     plan = fault_plan or FaultPlan()
     plan.validate_against(num_replicas)
 
     replicas = [
-        _Replica(i, max_batch=max_batch, policy=policy,
-                 prompt_time=prompt_time, step_time=step_time)
+        _Replica(i, max_batch=max_batch, policy=policy, costs=cost_model)
         for i in range(num_replicas)
     ]
     for i, (t, factor) in plan.slowdowns().items():
@@ -398,8 +403,9 @@ def run_fleet_functional(
     trace: WorkloadTrace,
     *,
     num_replicas: int,
-    prompt_time: Callable[[int, int], float],
-    step_time: Callable[[int], float],
+    costs: StepCostModel | None = None,
+    prompt_time: Callable[[int, int], float] | None = None,
+    step_time: Callable[[int], float] | None = None,
     max_batch: int,
     policy: str = "fcfs",
     routing: str | RoutingPolicy = "round_robin",
@@ -423,9 +429,9 @@ def run_fleet_functional(
     ``seed``.
     """
     report = simulate_fleet(
-        trace, num_replicas=num_replicas, prompt_time=prompt_time,
-        step_time=step_time, max_batch=max_batch, policy=policy,
-        routing=routing, fault_plan=fault_plan,
+        trace, num_replicas=num_replicas, costs=costs,
+        prompt_time=prompt_time, step_time=step_time, max_batch=max_batch,
+        policy=policy, routing=routing, fault_plan=fault_plan,
     )
     if prompts is None:
         prompts = synthesize_prompts(trace, vocab=model.config.vocab,

@@ -18,11 +18,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..engine.latency import DenseLatencyModel
-from ..engine.offload import max_batch_size
-from ..engine.serving_sim import WorkloadTrace, serving_step_times
+from ..engine.serving_sim import WorkloadTrace
 from ..engine.throughput import candidate_batches
-from ..engine.tuner import _tp_candidates
+from ..engine.tuner import _serving_cost_candidates
 from ..hardware.topology import ClusterSpec
 from ..model.config import ModelConfig
 from .faults import FaultPlan
@@ -65,14 +63,17 @@ def tune_fleet_deployment(
     whose P99 time-to-first-token meets ``ttft_sla`` (seconds; ``None``
     = no bound) within ``gpu_budget`` GPUs.
 
-    Each candidate prices every replica with a ``tp``-way
-    :class:`DenseLatencyModel` (replicas are TP-only islands — decode
-    pipelining is not priced at serving granularity, matching
-    :func:`~repro.engine.tuner.tune_serving_deployment`) and replays
-    ``trace`` through the fleet simulator under ``routing`` and the
-    optional ``fault_plan``. Ties on throughput go to the cheaper
-    deployment. Raises ``ValueError`` when nothing feasible meets the
-    SLA.
+    Each candidate prices every replica with a
+    :class:`~repro.engine.costs.StepCostModel` — dense models a
+    ``tp``-way :class:`~repro.engine.costs.DenseStepCost` (replicas are
+    TP-only islands — decode pipelining is not priced at serving
+    granularity, matching
+    :func:`~repro.engine.tuner.tune_serving_deployment`), MoE models a
+    :class:`~repro.engine.costs.MoEStepCost` over a Table II-shaped
+    MP x EP deployment — and replays ``trace`` through the fleet
+    simulator under ``routing`` and the optional ``fault_plan``. Ties on
+    throughput go to the cheaper deployment. Raises ``ValueError`` when
+    nothing feasible meets the SLA.
     """
     if gpu_budget < 1:
         raise ValueError("gpu_budget must be >= 1")
@@ -83,15 +84,11 @@ def tune_fleet_deployment(
     seq = max(r.prompt_len + r.gen_tokens for r in trace.requests)
 
     best: FleetTuningResult | None = None
-    for tp in _tp_candidates(config, cluster, gpu_budget):
-        cap = max_batch_size(config, cluster, tp=tp, pp=1, seq_len=seq)
-        if cap < 1:
-            continue
-        model = DenseLatencyModel(config, cluster, tp=tp)
-        prompt_t, step_t = serving_step_times(model, mean_prompt=mean_prompt,
-                                              mean_gen=mean_gen)
+    for tp, gpus_per_replica, cap, costs in _serving_cost_candidates(
+            config, cluster, max_gpus=gpu_budget,
+            representative_kv=mean_prompt + mean_gen // 2, seq=seq):
         batches = tuple(candidate_batches(cap))
-        for replicas in range(1, gpu_budget // tp + 1):
+        for replicas in range(1, gpu_budget // gpus_per_replica + 1):
             if fault_plan is not None and fault_plan.crashes():
                 if max(fault_plan.crashes()) >= replicas:
                     continue  # the plan names replicas this fleet lacks
@@ -99,8 +96,8 @@ def tune_fleet_deployment(
                     continue  # no survivor would remain
             for max_batch in batches:
                 rep = simulate_fleet(
-                    trace, num_replicas=replicas, prompt_time=prompt_t,
-                    step_time=step_t, max_batch=max_batch, policy=policy,
+                    trace, num_replicas=replicas, costs=costs,
+                    max_batch=max_batch, policy=policy,
                     routing=routing, fault_plan=fault_plan,
                 )
                 ttft = rep.ttft_percentile(trace, 99)
@@ -112,7 +109,7 @@ def tune_fleet_deployment(
                     tokens_per_second=rep.tokens_per_second,
                     ttft_p99=ttft,
                     latency_p99=rep.latency_percentile(trace, 99),
-                    num_gpus=replicas * tp,
+                    num_gpus=replicas * gpus_per_replica,
                 )
                 if best is None or (
                     (cand.tokens_per_second, -cand.num_gpus)

@@ -12,7 +12,7 @@ Weights are float64 by default so equivalence tests are tight; pass
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -12,7 +12,7 @@ from repro.baselines import (
     kernel_ablation_configs,
     layer_latency_sweep,
 )
-from repro.hardware import A100_40GB, dgx_a100_cluster, dgx2_v100, lambda_a6000_workstation
+from repro.hardware import A100_40GB, dgx_a100_cluster, lambda_a6000_workstation
 from repro.model import BERT_ZOO, DENSE_ZOO, MOE_PARALLELISM, MOE_ZOO, get_model
 
 CLUSTER = dgx_a100_cluster(8)

@@ -1,0 +1,254 @@
+"""Tests for the step-cost pricing interface (engine/costs.py).
+
+Covers the compat guarantee — ``DenseStepCost(representative_kv=...)``
+reproduces the deprecated ``serving_step_times`` closures bit-for-bit
+through both the serving and fleet simulators — and the adapter
+contract every model family must satisfy: finite, strictly positive
+costs, monotone non-decreasing in batch size and KV length.
+"""
+
+import math
+
+import pytest
+
+from repro.engine import (
+    BatchState,
+    ClosureStepCost,
+    DenseLatencyModel,
+    DenseStepCost,
+    MoELatencyModel,
+    MoEStepCost,
+    PromptShape,
+    ZeroStepCost,
+    resolve_step_costs,
+    serving_step_times,
+    simulate_serving,
+    synthesize_trace,
+)
+from repro.fleet import simulate_fleet
+from repro.hardware import dgx2_v100, dgx_a100_cluster
+from repro.model import DENSE_ZOO, MOE_PARALLELISM, MOE_ZOO, get_model
+from repro.zero import ZeroInferenceEngine
+
+
+@pytest.fixture(scope="module")
+def dense_cost():
+    model = DenseLatencyModel(DENSE_ZOO["gpt-13b"], dgx_a100_cluster(1), tp=4)
+    return DenseStepCost(model)
+
+
+@pytest.fixture(scope="module")
+def moe_cost():
+    cluster = dgx_a100_cluster(16)  # 128 GPUs
+    cfg = MOE_ZOO["1.3b-moe-128"]
+    model = MoELatencyModel(cfg, cluster, MOE_PARALLELISM[cfg.name],
+                            optimized=True)
+    return MoEStepCost(model)
+
+
+@pytest.fixture(scope="module")
+def zero_cost():
+    engine = ZeroInferenceEngine(get_model("gpt-neox-20b"), dgx2_v100(1))
+    return ZeroStepCost(engine)
+
+
+class TestBatchState:
+    def test_empty_state_is_legal(self):
+        s = BatchState(())
+        assert s.batch == 0
+        assert s.total_kv == 0
+        assert s.mean_kv == 0
+        assert s.max_kv == 0
+
+    def test_accounting(self):
+        s = BatchState((100, 101, 205))
+        assert s.batch == 3
+        assert s.total_kv == 406
+        assert s.mean_kv == math.ceil(406 / 3)
+        assert s.max_kv == 205
+
+    def test_uniform(self):
+        assert BatchState.uniform(4, 128) == BatchState((128,) * 4)
+        assert BatchState.uniform(0, 128) == BatchState(())
+        with pytest.raises(ValueError):
+            BatchState.uniform(-1, 128)
+
+    def test_rejects_nonpositive_kv(self):
+        with pytest.raises(ValueError):
+            BatchState((4, 0))
+
+    def test_prompt_shape_validates(self):
+        with pytest.raises(ValueError):
+            PromptShape(0)
+
+
+class TestResolveStepCosts:
+    def test_passthrough(self):
+        costs = ClosureStepCost(lambda b, p: 1.0, lambda b: 0.1)
+        assert resolve_step_costs(costs, None, None) is costs
+
+    def test_wraps_closures(self):
+        got = resolve_step_costs(None, lambda b, p: 2.5, lambda b: 0.5)
+        assert isinstance(got, ClosureStepCost)
+        # Old convention: prompt_time's batch includes the newcomer.
+        assert got.prompt_cost(BatchState.uniform(3, 7), PromptShape(16)) == 2.5
+        assert got.decode_cost(BatchState.uniform(3, 7)) == 0.5
+
+    def test_closure_convention_includes_newcomer(self):
+        got = resolve_step_costs(None, lambda b, p: float(b * 1000 + p),
+                                 lambda b: float(b))
+        assert got.prompt_cost(BatchState(()), PromptShape(9)) == 1009.0
+        assert got.prompt_cost(BatchState.uniform(3, 50), PromptShape(9)) == 4009.0
+
+    def test_rejects_both_and_neither(self):
+        costs = ClosureStepCost(lambda b, p: 1.0, lambda b: 0.1)
+        with pytest.raises(ValueError, match="not both"):
+            resolve_step_costs(costs, lambda b, p: 1.0, lambda b: 0.1)
+        with pytest.raises(ValueError, match="pricing required"):
+            resolve_step_costs(None, None, None)
+        with pytest.raises(ValueError, match="pricing required"):
+            resolve_step_costs(None, lambda b, p: 1.0, None)
+
+
+class TestCompatEquivalence:
+    """The representative-KV compat mode is bit-for-bit the legacy path."""
+
+    MEAN_PROMPT, MEAN_GEN = 128, 16
+
+    @pytest.fixture(scope="class")
+    def setup(self):
+        model = DenseLatencyModel(DENSE_ZOO["gpt-13b"], dgx_a100_cluster(1),
+                                  tp=4)
+        with pytest.deprecated_call():
+            closures = serving_step_times(model, mean_prompt=self.MEAN_PROMPT,
+                                          mean_gen=self.MEAN_GEN)
+        compat = DenseStepCost(
+            model, representative_kv=self.MEAN_PROMPT + self.MEAN_GEN // 2)
+        trace = synthesize_trace(num_requests=80, arrival_rate=12.0,
+                                 mean_prompt=self.MEAN_PROMPT,
+                                 mean_gen=self.MEAN_GEN, seed=11)
+        return closures, compat, trace
+
+    def test_serving_bit_for_bit(self, setup):
+        (prompt_t, step_t), compat, trace = setup
+        old = simulate_serving(trace, prompt_time=prompt_t, step_time=step_t,
+                               max_batch=8)
+        new = simulate_serving(trace, costs=compat, max_batch=8)
+        assert new.finish_times == old.finish_times
+        assert new.first_token_times == old.first_token_times
+        assert new.makespan == old.makespan
+        assert new.total_tokens == old.total_tokens
+
+    def test_fleet_single_replica_bit_for_bit(self, setup):
+        (prompt_t, step_t), compat, trace = setup
+        old = simulate_fleet(trace, num_replicas=1, prompt_time=prompt_t,
+                             step_time=step_t, max_batch=8)
+        new = simulate_fleet(trace, num_replicas=1, costs=compat, max_batch=8)
+        assert new.finish_times == old.finish_times
+        assert new.first_token_times == old.first_token_times
+        assert new.makespan == old.makespan
+
+    def test_policy_and_scheduling_identical(self, setup):
+        (prompt_t, step_t), compat, trace = setup
+        old = simulate_serving(trace, prompt_time=prompt_t, step_time=step_t,
+                               max_batch=4, policy="shortest_prompt")
+        new = simulate_serving(trace, costs=compat, max_batch=4,
+                               policy="shortest_prompt")
+        assert new.finish_times == old.finish_times
+
+
+def _adapter_cases(cost, prompt_len=64):
+    """(name, value) cost samples every adapter must price sensibly."""
+    return [
+        ("prompt-idle", cost.prompt_cost(BatchState(()),
+                                         PromptShape(prompt_len))),
+        ("prompt-riders", cost.prompt_cost(BatchState.uniform(4, 96),
+                                           PromptShape(prompt_len))),
+        ("decode-1", cost.decode_cost(BatchState.uniform(1, 32))),
+        ("decode-ragged", cost.decode_cost(BatchState((17, 128, 301)))),
+    ]
+
+
+class TestAdapterContract:
+    """Shared contract: finite, positive, monotone in batch and KV."""
+
+    @pytest.fixture(params=["dense", "moe", "zero"])
+    def cost(self, request, dense_cost, moe_cost, zero_cost):
+        return {"dense": dense_cost, "moe": moe_cost,
+                "zero": zero_cost}[request.param]
+
+    def test_finite_and_positive(self, cost):
+        for name, value in _adapter_cases(cost):
+            assert math.isfinite(value), name
+            assert value > 0.0, name
+
+    def test_decode_monotone_in_batch(self, cost):
+        costs = [cost.decode_cost(BatchState.uniform(b, 128))
+                 for b in (1, 2, 4, 8, 16)]
+        assert all(b >= a for a, b in zip(costs, costs[1:]))
+
+    def test_decode_monotone_in_kv(self, cost):
+        costs = [cost.decode_cost(BatchState.uniform(4, kv))
+                 for kv in (16, 64, 256, 1024)]
+        assert all(b >= a for a, b in zip(costs, costs[1:]))
+
+    def test_prompt_monotone_in_prompt_len(self, cost):
+        state = BatchState.uniform(2, 128)
+        costs = [cost.prompt_cost(state, PromptShape(p))
+                 for p in (16, 64, 256, 1024)]
+        assert all(b >= a for a, b in zip(costs, costs[1:]))
+
+    def test_prompt_riders_cost_extra(self, cost):
+        idle = cost.prompt_cost(BatchState(()), PromptShape(128))
+        loaded = cost.prompt_cost(BatchState.uniform(8, 128), PromptShape(128))
+        assert loaded > idle
+
+    def test_memoization_stable(self, cost):
+        state = BatchState.uniform(3, 200)
+        assert cost.decode_cost(state) == cost.decode_cost(state)
+
+
+class TestDenseStepCost:
+    def test_true_kv_mode_tracks_context_growth(self, dense_cost):
+        short = dense_cost.decode_cost(BatchState.uniform(4, 64))
+        long = dense_cost.decode_cost(BatchState.uniform(4, 2048))
+        assert long > short
+
+    def test_compat_mode_ignores_state_kv(self):
+        model = DenseLatencyModel(DENSE_ZOO["gpt-13b"], dgx_a100_cluster(1),
+                                  tp=4)
+        compat = DenseStepCost(model, representative_kv=136)
+        a = compat.decode_cost(BatchState.uniform(4, 64))
+        b = compat.decode_cost(BatchState.uniform(4, 2048))
+        assert a == b
+
+    def test_compat_validates(self):
+        model = DenseLatencyModel(DENSE_ZOO["gpt-13b"], dgx_a100_cluster(1),
+                                  tp=4)
+        with pytest.raises(ValueError):
+            DenseStepCost(model, representative_kv=0)
+
+
+class TestServingStepTimesShim:
+    def test_warns_and_matches_compat(self):
+        model = DenseLatencyModel(DENSE_ZOO["gpt-13b"], dgx_a100_cluster(1),
+                                  tp=4)
+        with pytest.warns(DeprecationWarning, match="serving_step_times"):
+            prompt_t, step_t = serving_step_times(model, mean_prompt=128,
+                                                  mean_gen=16)
+        compat = DenseStepCost(model, representative_kv=128 + 16 // 2)
+        assert prompt_t(1, 64) == compat.prompt_cost(BatchState(()),
+                                                     PromptShape(64))
+        assert prompt_t(5, 64) == compat.prompt_cost(
+            BatchState.uniform(4, 136), PromptShape(64))
+        assert step_t(4) == compat.decode_cost(BatchState.uniform(4, 136))
+
+
+class TestMoEServingEndToEnd:
+    def test_moe_trace_through_serving(self, moe_cost):
+        trace = synthesize_trace(num_requests=30, arrival_rate=10.0,
+                                 mean_prompt=64, mean_gen=8, seed=5)
+        rep = simulate_serving(trace, costs=moe_cost, max_batch=8)
+        assert len(rep.finish_times) == 30
+        assert rep.total_tokens == sum(r.gen_tokens for r in trace.requests)
+        assert math.isfinite(rep.makespan) and rep.makespan > 0

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.kernels.cuda_graph import CapturedGraph, GraphMismatch, GraphRunner
+from repro.kernels.cuda_graph import GraphMismatch, GraphRunner
 from repro.kernels.functional import gelu, layer_norm
 
 

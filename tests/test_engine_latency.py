@@ -4,7 +4,6 @@ import pytest
 
 from repro.engine import DenseLatencyModel, InferenceEngine, Workload
 from repro.hardware import dgx_a100_cluster
-from repro.kernels import DEEPSPEED_FP16, FASTER_TRANSFORMER_FP16
 from repro.model import DENSE_ZOO
 
 CLUSTER = dgx_a100_cluster(8)

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.hardware import DType, dgx_a100_cluster, lambda_a6000_workstation
+from repro.hardware import dgx_a100_cluster, lambda_a6000_workstation
 from repro.model import DENSE_ZOO
 from repro.parallel import PlanError, memory_per_gpu, plan_dense
 

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.kernels.functional import apply_rotary, scaled_dot_product_attention
+from repro.kernels.functional import apply_rotary
 from repro.model import DenseTransformer, KVCache, ModelConfig
 from repro.parallel import tp_spmd_forward
 

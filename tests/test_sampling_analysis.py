@@ -5,9 +5,8 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.comm import alltoall_time, bruck_alltoall_time
-from repro.hardware import A100_40GB, DType, LinkSpec
+from repro.hardware import A100_40GB, LinkSpec
 from repro.kernels import (
-    DEEPSPEED_FP16,
     LayerShape,
     analyze_layer,
     crossover_batch,

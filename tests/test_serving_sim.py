@@ -1,6 +1,5 @@
 """Tests for the serving-level simulator (arrivals, queueing, percentiles)."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 

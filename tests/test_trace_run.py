@@ -1,6 +1,5 @@
 """Tests for deployment execution traces + engine-level properties."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 

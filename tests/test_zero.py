@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.hardware import dgx2_v100, lambda_a6000_workstation
-from repro.model import DENSE_ZOO, get_model
+from repro.model import get_model
 from repro.zero import (
     Tier,
     TieredWeightStore,
