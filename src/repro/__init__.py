@@ -21,3 +21,7 @@ Quick start::
 """
 
 __version__ = "1.0.0"
+
+from .rng import SeedLike, as_generator
+
+__all__ = ["SeedLike", "as_generator"]

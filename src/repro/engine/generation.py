@@ -37,6 +37,7 @@ from ..model.kvcache import HostOffloadKVCache
 from ..model.paged_kv import BlockAllocator, PagedKVCache, blocks_needed
 from ..model.ragged import RaggedDecoder
 from ..model.sampling import SamplingConfig, sample_next_token
+from ..rng import SeedLike, as_generator
 from .scheduler import SchedRequest, Scheduler
 
 __all__ = ["GenerationRequest", "GenerationSession"]
@@ -71,7 +72,7 @@ class GenerationSession:
         eos_token: int | None = None,
         max_concurrency: int = 8,
         sampling: SamplingConfig | None = None,
-        seed: int = 0,
+        seed: SeedLike = 0,
         offload_idle_kv: bool = False,
         policy: str = "fcfs",
         kv_block_size: int = 16,
@@ -94,7 +95,7 @@ class GenerationSession:
         self.offload_idle_kv = offload_idle_kv
         self.scheduler = Scheduler(max_concurrency, policy=policy,
                                    eos_token=eos_token)
-        self._rng = np.random.default_rng(seed)
+        self._rng = as_generator(seed)
         self._ids = itertools.count()
         layers = model.config.layers
         if offload_idle_kv:

@@ -21,6 +21,7 @@ from ..kernels.profiles import DEEPSPEED_FP16, ImplementationProfile
 from ..model.config import MOE_PARALLELISM, ModelConfig, MoEParallelism, get_model
 from ..model.dense import DenseTransformer
 from ..parallel.planner import ParallelPlan, plan_dense
+from ..rng import SeedLike
 from .latency import DenseLatencyModel, LatencyReport, Workload
 from .moe import MoELatencyModel, MoEStepBreakdown
 from .throughput import ThroughputPoint, best_throughput
@@ -99,7 +100,8 @@ class InferenceEngine:
             offload_activations=offload_activations,
         )
 
-    def build_functional_model(self, *, seed: int = 0, dtype=np.float64) -> DenseTransformer:
+    def build_functional_model(self, *, seed: SeedLike = 0,
+                               dtype=np.float64) -> DenseTransformer:
         """Materialize the runnable NumPy model (small configs only: the
         weight arrays are allocated for real)."""
         if self.config.total_params > 2e8:

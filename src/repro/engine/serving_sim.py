@@ -26,6 +26,7 @@ from typing import Callable
 
 import numpy as np
 
+from ..rng import SeedLike, as_generator
 from ..simcore.trace import Timeline
 from .costs import BatchState, DenseStepCost, PromptShape, StepCostModel, resolve_step_costs
 from .report_stats import ReportStats
@@ -103,13 +104,15 @@ def synthesize_trace(
     mean_prompt: int = 128,
     mean_gen: int = 32,
     num_sessions: int | None = None,
-    seed: int = 0,
+    seed: SeedLike = 0,
 ) -> WorkloadTrace:
     """Poisson arrivals with geometric-ish prompt/generation lengths.
 
     ``num_sessions`` tags each request with a session id drawn uniformly
     from ``range(num_sessions)`` (for the fleet layer's affinity
-    routing); ``None`` leaves requests unaffiliated.
+    routing); ``None`` leaves requests unaffiliated. ``seed`` takes an
+    int or a live :class:`numpy.random.Generator` to thread one stream
+    through a composite workflow (see :mod:`repro.rng`).
     """
     if num_requests < 1 or arrival_rate <= 0:
         raise ValueError("num_requests >= 1 and arrival_rate > 0 required")
@@ -117,7 +120,7 @@ def synthesize_trace(
         raise ValueError("mean lengths must be >= 1")
     if num_sessions is not None and num_sessions < 1:
         raise ValueError("num_sessions must be >= 1 when given")
-    rng = np.random.default_rng(seed)
+    rng = as_generator(seed)
     gaps = rng.exponential(1.0 / arrival_rate, size=num_requests)
     arrivals = np.cumsum(gaps)
     prompts = np.maximum(1, rng.poisson(mean_prompt, size=num_requests))

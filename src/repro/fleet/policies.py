@@ -28,6 +28,7 @@ from typing import Callable, Protocol, Sequence
 import numpy as np
 
 from ..engine.serving_sim import Request
+from ..rng import SeedLike, as_generator
 
 __all__ = [
     "FleetView",
@@ -102,8 +103,8 @@ class PowerOfTwoChoices(RoutingPolicy):
 
     name = "power_of_two"
 
-    def __init__(self, seed: int = 0) -> None:
-        self._rng = np.random.default_rng(seed)
+    def __init__(self, seed: SeedLike = 0) -> None:
+        self._rng = as_generator(seed)
 
     def choose(self, request: Request, view: FleetView) -> int:
         alive = list(view.alive_replicas())

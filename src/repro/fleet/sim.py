@@ -45,6 +45,7 @@ from ..engine.costs import StepCostModel, resolve_step_costs
 from ..engine.generation import GenerationSession
 from ..engine.scheduler import SchedRequest, Scheduler
 from ..engine.serving_sim import Request, WorkloadTrace, batch_state_of
+from ..rng import SeedLike, as_generator
 from ..simcore.trace import Timeline
 from .faults import FaultPlan
 from .policies import RoutingPolicy
@@ -348,9 +349,9 @@ def simulate_fleet(
 
 
 def synthesize_prompts(trace: WorkloadTrace, *, vocab: int,
-                       seed: int = 0) -> dict[int, np.ndarray]:
+                       seed: SeedLike = 0) -> dict[int, np.ndarray]:
     """Deterministic token prompts matching each request's prompt_len."""
-    rng = np.random.default_rng(seed)
+    rng = as_generator(seed)
     return {r.request_id: rng.integers(0, vocab, size=r.prompt_len)
             for r in trace.requests}
 
@@ -411,7 +412,7 @@ def run_fleet_functional(
     routing: str | RoutingPolicy = "round_robin",
     fault_plan: FaultPlan | None = None,
     prompts: dict[int, np.ndarray] | None = None,
-    seed: int = 0,
+    seed: SeedLike = 0,
 ) -> FleetFunctionalResult:
     """Serve ``trace`` on real :class:`GenerationSession` replicas.
 

@@ -1,0 +1,46 @@
+"""repro-lint: domain-aware static analysis for this repository.
+
+Run over the tree::
+
+    python -m repro.lint src/repro
+
+or programmatically::
+
+    from repro.lint import all_checkers, run_lint
+    result = run_lint(["src/repro"], all_checkers())
+    assert result.ok, [f.format() for f in result.findings]
+
+See :mod:`repro.lint.core` for the framework (findings, baselines,
+suppression comments) and :mod:`repro.lint.checkers` for the rules
+(RP001 collective-symmetry, RP002 unit-consistency, RP003
+sim-determinism, RP004 api-hygiene).
+"""
+
+from .checkers import all_checkers, select_checkers
+from .core import (
+    Baseline,
+    Checker,
+    Finding,
+    LintError,
+    LintResult,
+    ModuleInfo,
+    iter_python_files,
+    load_file,
+    load_source,
+    run_lint,
+)
+
+__all__ = [
+    "Baseline",
+    "Checker",
+    "Finding",
+    "LintError",
+    "LintResult",
+    "ModuleInfo",
+    "all_checkers",
+    "iter_python_files",
+    "load_file",
+    "load_source",
+    "run_lint",
+    "select_checkers",
+]

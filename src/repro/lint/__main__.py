@@ -1,0 +1,121 @@
+"""Command-line entry point: ``python -m repro.lint [paths...]``.
+
+Exit codes: **0** clean (every finding baselined or suppressed),
+**1** new findings, **2** usage or parse errors.
+
+The baseline (default ``lint-baseline.json``, when it exists in the
+working directory) is the committed ledger of accepted findings; run
+with ``--write-baseline`` to grandfather the current findings, then
+edit the file to replace each placeholder justification with a real
+one.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from .checkers import select_checkers
+from .core import Baseline, LintError, run_lint
+
+DEFAULT_BASELINE = "lint-baseline.json"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="Domain-aware static analysis for the repro codebase "
+                    "(collective symmetry, unit consistency, simulation "
+                    "determinism, API hygiene).",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src/repro"],
+        help="files or directories to lint (default: src/repro)")
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default: text)")
+    parser.add_argument(
+        "--output", metavar="FILE",
+        help="write the report to FILE instead of stdout "
+             "(a one-line summary still goes to stdout)")
+    parser.add_argument(
+        "--select", metavar="CODES",
+        help="comma-separated checker codes to run, e.g. RP001,RP003")
+    parser.add_argument(
+        "--baseline", metavar="FILE", default=None,
+        help=f"baseline file of accepted findings (default: "
+             f"{DEFAULT_BASELINE} if present)")
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore any baseline file")
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="write every current finding to the baseline file and exit 0")
+    parser.add_argument(
+        "--list-checkers", action="store_true",
+        help="list registered checkers and exit")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    try:
+        checkers = select_checkers(args.select)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.list_checkers:
+        for c in checkers:
+            print(f"{c.code}  {c.name:22s} {c.description}")
+        return 0
+
+    baseline_path = Path(args.baseline) if args.baseline else Path(DEFAULT_BASELINE)
+    baseline = None
+    if not args.no_baseline and not args.write_baseline:
+        if args.baseline or baseline_path.exists():
+            try:
+                baseline = Baseline.load(baseline_path)
+            except LintError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+
+    try:
+        result = run_lint(args.paths, checkers, baseline=baseline)
+    except LintError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        Baseline.from_findings(result.findings).save(baseline_path)
+        print(f"wrote {len(result.findings)} finding(s) to {baseline_path}; "
+              f"fill in the justifications before committing")
+        return 0
+
+    if args.format == "json":
+        report = json.dumps(result.to_dict(), indent=2) + "\n"
+    else:
+        lines = [f.format() for f in result.findings]
+        if result.baselined:
+            lines.append(f"({len(result.baselined)} baselined finding(s) "
+                         f"not shown; see {baseline_path})")
+        report = "\n".join(lines) + ("\n" if lines else "")
+
+    if args.output:
+        Path(args.output).write_text(report, encoding="utf-8")
+    else:
+        sys.stdout.write(report)
+
+    summary = (f"repro-lint: {result.files_checked} file(s), "
+               f"{len(result.findings)} finding(s), "
+               f"{len(result.baselined)} baselined, "
+               f"{len(result.suppressed)} suppressed")
+    print(summary if not args.output else f"{summary} -> {args.output}")
+    return 0 if result.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,56 @@
+"""The battery of domain-aware checkers shipped with repro-lint.
+
+Codes are stable and grep-able:
+
+* **RP001** ``collective-symmetry`` — SPMD collectives under
+  rank-dependent control flow (deadlock).
+* **RP002** ``unit-consistency`` — seconds/bytes/FLOPs/tokens mixed
+  without conversion, inferred from the suffix convention.
+* **RP003** ``sim-determinism`` — global RNG, wall-clock reads, and
+  unordered-set iteration inside simulation code.
+* **RP004** ``api-hygiene`` — mutable default arguments and ``__all__``
+  drift in package ``__init__`` files.
+
+Adding a checker: subclass :class:`repro.lint.core.Checker`, give it a
+fresh ``RPnnn`` code, and append it to :func:`all_checkers`.
+"""
+
+from __future__ import annotations
+
+from ..core import Checker
+from .api_hygiene import ApiHygieneChecker
+from .collective_symmetry import CollectiveSymmetryChecker
+from .determinism import SimDeterminismChecker
+from .unit_consistency import UnitConsistencyChecker
+
+__all__ = [
+    "ApiHygieneChecker",
+    "Checker",
+    "CollectiveSymmetryChecker",
+    "SimDeterminismChecker",
+    "UnitConsistencyChecker",
+    "all_checkers",
+    "select_checkers",
+]
+
+
+def all_checkers() -> list[Checker]:
+    """One fresh instance of every registered checker, code order."""
+    return [
+        CollectiveSymmetryChecker(),
+        UnitConsistencyChecker(),
+        SimDeterminismChecker(),
+        ApiHygieneChecker(),
+    ]
+
+
+def select_checkers(codes: str | None) -> list[Checker]:
+    """Subset by comma-separated codes (``"RP001,RP003"``); None = all."""
+    checkers = all_checkers()
+    if codes is None:
+        return checkers
+    wanted = {c.strip().upper() for c in codes.split(",") if c.strip()}
+    unknown = wanted - {c.code for c in checkers}
+    if unknown:
+        raise ValueError(f"unknown checker codes: {sorted(unknown)}")
+    return [c for c in checkers if c.code in wanted]

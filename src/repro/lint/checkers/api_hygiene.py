@@ -1,0 +1,147 @@
+"""RP004: API hygiene — mutable defaults and ``__all__`` drift.
+
+Two low-level-but-recurring defect classes across the whole tree:
+
+* **mutable default arguments** — ``def f(x, acc=[])`` shares one list
+  across every call; state leaks between requests/replicas silently.
+* **``__all__`` drift** — every package ``__init__.py`` in this repo
+  re-exports its public surface through an explicit ``__all__``. A name
+  listed but no longer bound breaks ``from repro.x import *`` and the
+  doc build; a public re-export missing from ``__all__`` ships an
+  undocumented API. Both directions are flagged, for ``__init__.py``
+  files only (modules may legitimately keep helpers public-but-local).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..core import Checker, Finding, ModuleInfo
+
+__all__ = ["ApiHygieneChecker"]
+
+_MUTABLE_LITERALS = (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                     ast.DictComp, ast.SetComp)
+_MUTABLE_FACTORIES = frozenset({
+    "list", "dict", "set", "bytearray", "defaultdict", "deque", "Counter",
+    "OrderedDict",
+})
+
+
+def _is_mutable_default(node: ast.AST) -> bool:
+    if isinstance(node, _MUTABLE_LITERALS):
+        return True
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in _MUTABLE_FACTORIES:
+            return True
+        if isinstance(func, ast.Attribute) and func.attr in _MUTABLE_FACTORIES:
+            return True
+    return False
+
+
+class ApiHygieneChecker(Checker):
+    code = "RP004"
+    name = "api-hygiene"
+    description = (
+        "no mutable default arguments; package __init__ __all__ lists "
+        "must match the names actually bound"
+    )
+    packages = ()  # every module under the linted tree
+
+    def check(self, mod: ModuleInfo) -> Iterator[Finding]:
+        yield from self._check_mutable_defaults(mod)
+        if mod.is_package_init:
+            yield from self._check_all_drift(mod)
+
+    # -- mutable defaults --------------------------------------------------
+
+    def _check_mutable_defaults(self, mod: ModuleInfo) -> Iterator[Finding]:
+        for node in ast.walk(mod.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                     ast.Lambda)):
+                continue
+            args = node.args
+            positional = args.posonlyargs + args.args
+            pairs = list(zip(positional[len(positional) - len(args.defaults):],
+                             args.defaults))
+            pairs += [(a, d) for a, d in zip(args.kwonlyargs, args.kw_defaults)
+                      if d is not None]
+            where = (f"function `{node.name}`"
+                     if not isinstance(node, ast.Lambda) else "lambda")
+            for arg, default in pairs:
+                if _is_mutable_default(default):
+                    yield self.finding(mod, default, (
+                        f"mutable default `{arg.arg}="
+                        f"{ast.unparse(default)[:40]}` in {where}: the "
+                        f"object is shared across every call — default "
+                        f"to None and construct inside"
+                    ))
+
+    # -- __all__ drift -----------------------------------------------------
+
+    def _check_all_drift(self, mod: ModuleInfo) -> Iterator[Finding]:
+        declared: list[str] | None = None
+        decl_node: ast.AST | None = None
+        exact = True          # False once __all__ is mutated dynamically
+        bound: dict[str, ast.AST] = {}
+
+        for node in mod.tree.body:
+            if isinstance(node, ast.ImportFrom):
+                if node.module == "__future__":
+                    continue
+                for alias in node.names:
+                    if alias.name == "*":
+                        exact = False
+                        continue
+                    bound[alias.asname or alias.name] = node
+            elif isinstance(node, ast.Import):
+                for alias in node.names:
+                    bound[alias.asname or alias.name.split(".")[0]] = node
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                   ast.ClassDef)):
+                bound[node.name] = node
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if not isinstance(target, ast.Name):
+                        continue
+                    if target.id == "__all__":
+                        try:
+                            values = ast.literal_eval(node.value)
+                            declared = [str(v) for v in values]
+                            decl_node = node
+                        except (ValueError, TypeError):
+                            exact = False
+                    else:
+                        bound[target.id] = node
+            elif isinstance(node, ast.AnnAssign) and isinstance(
+                    node.target, ast.Name) and node.target.id != "__all__":
+                bound[node.target.id] = node
+            elif isinstance(node, ast.AugAssign) and isinstance(
+                    node.target, ast.Name) and node.target.id == "__all__":
+                exact = False
+
+        if declared is None or not exact:
+            return  # nothing to check, or __all__ built dynamically
+
+        dupes = {n for n in declared if declared.count(n) > 1}
+        for name in sorted(dupes):
+            yield self.finding(mod, decl_node, (
+                f"`__all__` lists `{name}` more than once"
+            ))
+        for name in declared:
+            if name not in bound:
+                yield self.finding(mod, decl_node, (
+                    f"`__all__` exports `{name}` but the module never "
+                    f"binds it: `from {mod.module} import *` would fail"
+                ))
+        listed = set(declared)
+        for name, node in sorted(bound.items()):
+            if name.startswith("_") or name in listed:
+                continue
+            yield self.finding(mod, node, (
+                f"public name `{name}` is bound in this package "
+                f"__init__ but missing from `__all__` (undocumented "
+                f"re-export — list it or underscore it)"
+            ))

@@ -1,0 +1,346 @@
+"""repro-lint core: findings, checkers, the file walker, and baselines.
+
+Generic linters (ruff runs in CI already) catch syntax-level smells;
+they cannot know that every rank of an SPMD program must issue the same
+collectives in the same order, or that a ``*_bytes`` value must never be
+added to a ``*_flops`` value. ``repro.lint`` is the domain-aware pass:
+a small AST framework (this module) plus a battery of checkers under
+:mod:`repro.lint.checkers` that encode *this* codebase's invariants.
+
+Vocabulary:
+
+* :class:`Finding` — one diagnostic: code, message, location.
+* :class:`Checker` — a rule. Subclasses implement :meth:`Checker.check`
+  over a parsed :class:`ModuleInfo` and yield findings.
+* :class:`Baseline` — a committed JSON file of *accepted* findings
+  (each carrying a justification); matching findings are reported
+  separately and do not fail the run. New debt therefore fails CI while
+  grandfathered debt stays visible.
+* suppression comments — ``# repro-lint: disable=RP001`` (or a
+  comma-separated list, or no ``=`` part to disable every rule) on the
+  flagged line silences it in place.
+
+The CLI lives in :mod:`repro.lint.__main__`; run it as
+``python -m repro.lint src/repro``.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+__all__ = [
+    "Baseline",
+    "Checker",
+    "Finding",
+    "LintError",
+    "LintResult",
+    "ModuleInfo",
+    "iter_python_files",
+    "load_file",
+    "load_source",
+    "run_lint",
+]
+
+# ``# repro-lint: disable=RP001,RP002`` or ``# repro-lint: disable`` (all).
+_DISABLE_RE = re.compile(r"#\s*repro-lint:\s*disable(?:=([A-Z0-9,\s]+))?")
+# ``# repro-lint: unit(name)=seconds`` — explicit unit annotation, read by
+# the RP002 checker through :attr:`ModuleInfo.unit_notes`.
+_UNIT_NOTE_RE = re.compile(r"#\s*repro-lint:\s*unit\((\w+)\)\s*=\s*([\w/]+)")
+
+
+class LintError(Exception):
+    """A file could not be linted (unreadable, unparseable)."""
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One diagnostic produced by a checker."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def fingerprint(self) -> str:
+        """Line-insensitive identity used for baseline matching (lines
+        drift on every edit; code+path+message rarely do)."""
+        return f"{self.code}|{self.path}|{self.message}"
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+    def to_dict(self) -> dict:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "message": self.message,
+        }
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed source file plus the lint metadata checkers consume."""
+
+    path: Path
+    display_path: str            # path as reported in findings (posix)
+    module: str                  # dotted module name, e.g. repro.comm.pcc
+    source: str
+    lines: list[str]
+    tree: ast.Module
+    unit_notes: dict[str, str] = field(default_factory=dict)
+    # line number -> codes disabled there (empty set = all codes)
+    suppressions: dict[int, set[str]] = field(default_factory=dict)
+
+    @property
+    def is_package_init(self) -> bool:
+        return self.path.name == "__init__.py"
+
+    def in_packages(self, packages: Sequence[str]) -> bool:
+        """Whether this module lives under any of the dotted ``packages``."""
+        return any(
+            self.module == p or self.module.startswith(p + ".")
+            for p in packages
+        )
+
+    def suppressed(self, finding: Finding) -> bool:
+        codes = self.suppressions.get(finding.line)
+        if codes is None:
+            return False
+        return not codes or finding.code in codes
+
+
+class Checker:
+    """Base class for one lint rule.
+
+    Subclasses set :attr:`code` / :attr:`name` / :attr:`description`,
+    optionally narrow :attr:`packages` (dotted prefixes; empty tuple =
+    every module), and implement :meth:`check`.
+    """
+
+    code: str = "RP000"
+    name: str = "abstract"
+    description: str = ""
+    #: dotted package prefixes this rule applies to ((,) = all modules)
+    packages: tuple[str, ...] = ()
+
+    def applies_to(self, mod: ModuleInfo) -> bool:
+        return not self.packages or mod.in_packages(self.packages)
+
+    def check(self, mod: ModuleInfo) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, mod: ModuleInfo, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            path=mod.display_path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            code=self.code,
+            message=message,
+        )
+
+
+# -- loading ---------------------------------------------------------------
+
+
+def _module_name_of(path: Path) -> str:
+    """Dotted module name, anchored at the last ``repro`` path component
+    so fixtures and installed trees resolve identically."""
+    parts = list(path.with_suffix("").parts)
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    if "repro" in parts:
+        parts = parts[len(parts) - 1 - parts[::-1].index("repro"):]
+    return ".".join(parts[-4:]) if parts else path.stem
+
+
+def _scan_comments(lines: list[str]) -> tuple[dict[int, set[str]], dict[str, str]]:
+    suppressions: dict[int, set[str]] = {}
+    unit_notes: dict[str, str] = {}
+    for lineno, text in enumerate(lines, start=1):
+        if "repro-lint" not in text:
+            continue
+        m = _DISABLE_RE.search(text)
+        if m:
+            codes = m.group(1)
+            suppressions[lineno] = (
+                set() if codes is None
+                else {c.strip() for c in codes.split(",") if c.strip()}
+            )
+        for name, unit in _UNIT_NOTE_RE.findall(text):
+            unit_notes[name] = unit
+    return suppressions, unit_notes
+
+
+def load_source(
+    source: str, *, module: str = "fixture", path: str = "<fixture>"
+) -> ModuleInfo:
+    """Parse ``source`` into a :class:`ModuleInfo` (test/fixture entry
+    point: ``module`` controls package scoping)."""
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        raise LintError(f"{path}: syntax error: {exc.msg} (line {exc.lineno})") from exc
+    lines = source.splitlines()
+    suppressions, unit_notes = _scan_comments(lines)
+    return ModuleInfo(
+        path=Path(path),
+        display_path=path,
+        module=module,
+        source=source,
+        lines=lines,
+        tree=tree,
+        unit_notes=unit_notes,
+        suppressions=suppressions,
+    )
+
+
+def load_file(path: Path | str, *, root: Path | str | None = None) -> ModuleInfo:
+    """Read and parse one file; ``root`` anchors the reported path."""
+    path = Path(path)
+    try:
+        source = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise LintError(f"{path}: {exc}") from exc
+    base = Path(root) if root is not None else Path.cwd()
+    try:
+        display = path.resolve().relative_to(base.resolve()).as_posix()
+    except ValueError:
+        display = path.as_posix()
+    info = load_source(source, module=_module_name_of(path), path=display)
+    info.path = path
+    return info
+
+
+def iter_python_files(paths: Iterable[Path | str]) -> list[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    out: list[Path] = []
+    for p in paths:
+        p = Path(p)
+        if p.is_dir():
+            out.extend(sorted(q for q in p.rglob("*.py")
+                              if not any(part.startswith(".") for part in q.parts)))
+        elif p.suffix == ".py" and p.exists():
+            out.append(p)
+        else:
+            raise LintError(f"{p}: not a python file or directory")
+    return out
+
+
+# -- baseline --------------------------------------------------------------
+
+
+@dataclass
+class Baseline:
+    """Accepted findings, persisted as ``lint-baseline.json``.
+
+    Every entry must carry a ``justification`` — the baseline is a
+    ledger of *argued* exceptions, not a mute button.
+    """
+
+    entries: list[dict] = field(default_factory=list)
+
+    @classmethod
+    def load(cls, path: Path | str) -> "Baseline":
+        path = Path(path)
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+        except OSError as exc:
+            raise LintError(f"{path}: cannot read baseline: {exc}") from exc
+        except json.JSONDecodeError as exc:
+            raise LintError(f"{path}: invalid baseline JSON: {exc}") from exc
+        if not isinstance(data, dict) or "entries" not in data:
+            raise LintError(f"{path}: baseline must be an object with 'entries'")
+        entries = data["entries"]
+        for e in entries:
+            missing = {"code", "path", "message", "justification"} - set(e)
+            if missing:
+                raise LintError(
+                    f"{path}: baseline entry {e!r} missing {sorted(missing)}"
+                )
+        return cls(entries=list(entries))
+
+    def save(self, path: Path | str) -> None:
+        payload = {"version": 1, "entries": self.entries}
+        Path(path).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+
+    def fingerprints(self) -> set[str]:
+        return {f"{e['code']}|{e['path']}|{e['message']}" for e in self.entries}
+
+    @classmethod
+    def from_findings(
+        cls, findings: Iterable[Finding],
+        justification: str = "TODO: justify this exception",
+    ) -> "Baseline":
+        return cls(entries=[
+            {**f.to_dict(), "justification": justification}
+            for f in sorted(findings)
+        ])
+
+
+# -- driver ----------------------------------------------------------------
+
+
+@dataclass
+class LintResult:
+    """Outcome of one lint run over a set of files."""
+
+    findings: list[Finding] = field(default_factory=list)    # fail the run
+    baselined: list[Finding] = field(default_factory=list)   # accepted debt
+    suppressed: list[Finding] = field(default_factory=list)  # inline disables
+    files_checked: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def to_dict(self) -> dict:
+        return {
+            "version": 1,
+            "files_checked": self.files_checked,
+            "counts": {
+                "findings": len(self.findings),
+                "baselined": len(self.baselined),
+                "suppressed": len(self.suppressed),
+            },
+            "findings": [f.to_dict() for f in self.findings],
+            "baselined": [f.to_dict() for f in self.baselined],
+        }
+
+
+def run_lint(
+    paths: Iterable[Path | str],
+    checkers: Sequence[Checker],
+    *,
+    baseline: Baseline | None = None,
+    root: Path | str | None = None,
+) -> LintResult:
+    """Run ``checkers`` over every python file under ``paths``."""
+    result = LintResult()
+    known = baseline.fingerprints() if baseline is not None else set()
+    for path in iter_python_files(paths):
+        mod = load_file(path, root=root)
+        result.files_checked += 1
+        for checker in checkers:
+            if not checker.applies_to(mod):
+                continue
+            for finding in checker.check(mod):
+                if mod.suppressed(finding):
+                    result.suppressed.append(finding)
+                elif finding.fingerprint() in known:
+                    result.baselined.append(finding)
+                else:
+                    result.findings.append(finding)
+    result.findings.sort()
+    result.baselined.sort()
+    result.suppressed.sort()
+    return result

@@ -26,6 +26,7 @@ from ..kernels.functional import (
     scaled_dot_product_attention,
     split_heads,
 )
+from ..rng import SeedLike, as_generator
 from .config import ModelConfig
 from .kvcache import KVCache
 
@@ -91,13 +92,13 @@ class DenseTransformer:
         self,
         config: ModelConfig,
         *,
-        seed: int = 0,
+        seed: SeedLike = 0,
         dtype=np.float64,
         moe_layers: dict | None = None,
     ) -> None:
         self.config = config
         self.dtype = dtype
-        rng = np.random.default_rng(seed)
+        rng = as_generator(seed)
         h = config.hidden
         self.wte = (rng.standard_normal((config.vocab, h)) * 0.02).astype(dtype)
         self.wpe = (rng.standard_normal((config.max_seq, h)) * 0.01).astype(dtype)

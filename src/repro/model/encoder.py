@@ -20,6 +20,7 @@ from ..kernels.functional import (
     scaled_dot_product_attention,
     split_heads,
 )
+from ..rng import SeedLike, as_generator
 from .config import ModelConfig
 from .dense import LayerWeights, init_layer_weights
 
@@ -29,14 +30,15 @@ __all__ = ["EncoderTransformer"]
 class EncoderTransformer:
     """A runnable BERT-style bidirectional encoder."""
 
-    def __init__(self, config: ModelConfig, *, seed: int = 0, dtype=np.float64) -> None:
+    def __init__(self, config: ModelConfig, *, seed: SeedLike = 0,
+                 dtype=np.float64) -> None:
         if config.decoder:
             raise ValueError(
                 f"{config.name} is a decoder config; EncoderTransformer "
                 "expects decoder=False"
             )
         self.config = config
-        rng = np.random.default_rng(seed)
+        rng = as_generator(seed)
         h = config.hidden
         self.wte = (rng.standard_normal((config.vocab, h)) * 0.02).astype(dtype)
         self.wpe = (rng.standard_normal((config.max_seq, h)) * 0.01).astype(dtype)

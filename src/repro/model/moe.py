@@ -17,6 +17,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..kernels.functional import gelu
+from ..rng import SeedLike, as_generator
 from .gating import (
     GatingResult,
     TopKGatingResult,
@@ -38,12 +39,12 @@ class MoELayer:
         *,
         ffn_mult: int = 4,
         capacity_factor: float = 1.0,
-        seed: int = 0,
+        seed: SeedLike = 0,
         dtype=np.float64,
     ) -> None:
         if hidden < 1 or num_experts < 1:
             raise ValueError("hidden and num_experts must be >= 1")
-        rng = np.random.default_rng(seed)
+        rng = as_generator(seed)
         s = 0.02
         m = ffn_mult * hidden
         self.hidden = hidden

@@ -1,0 +1,41 @@
+"""Explicit randomness plumbing: one way to accept a seed anywhere.
+
+Every stochastic entry point in this codebase (model weight init, trace
+synthesis, sampling, routing) takes an explicit ``seed`` — RP003
+(:mod:`repro.lint`) bans the process-global ``np.random.*`` state so
+simulations replay bit-for-bit. :func:`as_generator` is the single
+coercion point behind those signatures: callers may pass a plain ``int``
+seed *or* an already-constructed :class:`numpy.random.Generator`, and
+composite workflows can thread one generator end-to-end (trace
+synthesis -> prompt synthesis -> sampling) instead of inventing seed
+arithmetic at every hop::
+
+    rng = np.random.default_rng(1234)
+    trace = synthesize_trace(num_requests=64, arrival_rate=8.0, seed=rng)
+    prompts = synthesize_prompts(trace, vocab=50_000, seed=rng)
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+__all__ = ["SeedLike", "as_generator"]
+
+#: Anything a stochastic entry point accepts as its ``seed`` argument.
+SeedLike = Union[int, np.random.Generator, np.random.SeedSequence]
+
+
+def as_generator(seed: SeedLike) -> np.random.Generator:
+    """Coerce ``seed`` to a :class:`numpy.random.Generator`.
+
+    A :class:`~numpy.random.Generator` passes through **by reference**
+    (its state advances as the callee draws — that is the point: one
+    stream, threaded end-to-end); anything else is handed to
+    :func:`numpy.random.default_rng`, so equal ints keep yielding equal,
+    reproducible streams.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)

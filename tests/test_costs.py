@@ -8,6 +8,7 @@ costs, monotone non-decreasing in batch size and KV length.
 """
 
 import math
+import warnings
 
 import pytest
 
@@ -242,6 +243,37 @@ class TestServingStepTimesShim:
         assert prompt_t(5, 64) == compat.prompt_cost(
             BatchState.uniform(4, 136), PromptShape(64))
         assert step_t(4) == compat.decode_cost(BatchState.uniform(4, 136))
+
+    def test_warning_is_deprecation_from_caller_frame(self):
+        model = DenseLatencyModel(DENSE_ZOO["gpt-13b"], dgx_a100_cluster(1),
+                                  tp=4)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            serving_step_times(model, mean_prompt=64, mean_gen=8)
+        (w,) = [c for c in caught if c.category is DeprecationWarning]
+        # stacklevel=2 attributes the warning to this test, not the shim.
+        assert w.filename == __file__
+        assert "costs=" in str(w.message)
+
+    def test_grid_bit_for_bit_equal_to_compat(self):
+        """The shim's closures equal DenseStepCost compat mode on every
+        (batch, prompt_len) point of a grid — not just one sample."""
+        model = DenseLatencyModel(DENSE_ZOO["gpt-13b"], dgx_a100_cluster(1),
+                                  tp=4)
+        mean_prompt, mean_gen = 96, 24
+        with pytest.deprecated_call():
+            prompt_t, step_t = serving_step_times(
+                model, mean_prompt=mean_prompt, mean_gen=mean_gen)
+        compat = DenseStepCost(
+            model, representative_kv=mean_prompt + mean_gen // 2)
+        rep_kv = mean_prompt + mean_gen // 2
+        for batch in (1, 2, 3, 8, 17):
+            assert step_t(batch) == compat.decode_cost(
+                BatchState.uniform(batch, rep_kv))
+            for prompt_len in (1, 16, 128, 512):
+                assert prompt_t(batch, prompt_len) == compat.prompt_cost(
+                    BatchState.uniform(batch - 1, rep_kv),
+                    PromptShape(prompt_len))
 
 
 class TestMoEServingEndToEnd:

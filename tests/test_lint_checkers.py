@@ -1,0 +1,408 @@
+"""Per-checker fixture tests for repro.lint.
+
+Each checker gets at least one seeded violation it must flag and the
+corrected version of the same snippet it must stay silent on — the
+acceptance contract of the lint subsystem.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+
+from repro.lint import all_checkers, load_source
+from repro.lint.checkers import (
+    ApiHygieneChecker,
+    CollectiveSymmetryChecker,
+    SimDeterminismChecker,
+    UnitConsistencyChecker,
+    select_checkers,
+)
+
+
+def lint_snippet(checker, source, *, module, path="fixture.py"):
+    mod = load_source(textwrap.dedent(source), module=module, path=path)
+    if not checker.applies_to(mod):
+        return []
+    return list(checker.check(mod))
+
+
+# -- RP001 collective-symmetry ----------------------------------------------
+
+
+class TestCollectiveSymmetry:
+    CH = CollectiveSymmetryChecker
+
+    def test_fires_on_rank_conditional_collective(self):
+        findings = lint_snippet(self.CH(), """
+            def f(comm, x):
+                if comm.rank == 0:
+                    return comm.allreduce(x)
+                return x
+            """, module="repro.parallel.fixture")
+        assert len(findings) == 1
+        assert findings[0].code == "RP001"
+        assert "allreduce" in findings[0].message
+        assert "deadlock" in findings[0].message
+
+    def test_silent_on_unconditional_collective(self):
+        findings = lint_snippet(self.CH(), """
+            def f(comm, x):
+                y = comm.allreduce(x)
+                if comm.rank == 0:
+                    print(y.sum())
+                return y
+            """, module="repro.parallel.fixture")
+        assert findings == []
+
+    def test_fires_on_rank_bound_loop(self):
+        findings = lint_snippet(self.CH(), """
+            def f(comm):
+                for _ in range(comm.rank):
+                    comm.barrier()
+            """, module="repro.parallel.fixture")
+        assert len(findings) == 1
+        assert "trip count" in findings[0].message
+
+    def test_fires_on_rank_dependent_while(self):
+        findings = lint_snippet(self.CH(), """
+            def f(comm, x):
+                step = 0
+                while step < comm.rank:
+                    x = comm.allgather(x)
+                    step += 1
+                return x
+            """, module="repro.parallel.fixture")
+        assert len(findings) == 1
+
+    def test_silent_on_symmetric_branch(self):
+        # The broadcast-root idiom: both sides issue the same collective.
+        findings = lint_snippet(self.CH(), """
+            def f(comm, x, root):
+                if comm.rank == root:
+                    out = comm.broadcast(x)
+                else:
+                    out = comm.broadcast(None)
+                return out
+            """, module="repro.parallel.fixture")
+        assert findings == []
+
+    def test_fires_on_asymmetric_else(self):
+        findings = lint_snippet(self.CH(), """
+            def f(comm, x):
+                if comm.rank == 0:
+                    out = comm.broadcast(x)
+                else:
+                    out = comm.broadcast(None)
+                    comm.barrier()
+                return out
+            """, module="repro.parallel.fixture")
+        assert [f.message for f in findings if "barrier" in f.message]
+
+    def test_silent_on_point_to_point(self):
+        # Rank-conditional send/recv is how pipeline stages talk.
+        findings = lint_snippet(self.CH(), """
+            def f(comm, x):
+                if comm.rank == 0:
+                    comm.send(x, dest=1)
+                else:
+                    x = comm.recv(source=0)
+                return x
+            """, module="repro.parallel.fixture")
+        assert findings == []
+
+    def test_silent_on_numpy_broadcast(self):
+        findings = lint_snippet(self.CH(), """
+            import numpy as np
+            def f(comm, a, b):
+                if comm.rank == 0:
+                    return np.broadcast(a, b)
+            """, module="repro.parallel.fixture")
+        assert findings == []
+
+    def test_scoped_to_spmd_packages(self):
+        # The same violation outside repro.parallel / repro.model is not
+        # this checker's business.
+        findings = lint_snippet(self.CH(), """
+            def f(comm, x):
+                if comm.rank == 0:
+                    return comm.allreduce(x)
+            """, module="repro.bench.fixture")
+        assert findings == []
+
+
+# -- RP002 unit-consistency -------------------------------------------------
+
+
+class TestUnitConsistency:
+    CH = UnitConsistencyChecker
+
+    def test_fires_on_bytes_plus_seconds(self):
+        findings = lint_snippet(self.CH(), """
+            def f(act_bytes, compute_time):
+                return act_bytes + compute_time
+            """, module="repro.kernels.fixture")
+        assert len(findings) == 1
+        assert findings[0].code == "RP002"
+        assert "seconds" in findings[0].message
+        assert "bytes" in findings[0].message
+
+    def test_silent_on_converted_sum(self):
+        # Division is how conversions are written: bytes / rate = time.
+        findings = lint_snippet(self.CH(), """
+            def f(act_bytes, hbm_bytes_per_s, compute_time):
+                return act_bytes / hbm_bytes_per_s + compute_time
+            """, module="repro.kernels.fixture")
+        assert findings == []
+
+    def test_fires_on_gb_vs_bytes_comparison(self):
+        findings = lint_snippet(self.CH(), """
+            def fits(weight_bytes, hbm_gb):
+                return weight_bytes <= hbm_gb
+            """, module="repro.hardware.fixture")
+        assert len(findings) == 1
+        assert "conversion is missing" in findings[0].message
+
+    def test_fires_on_augmented_accumulation(self):
+        findings = lint_snippet(self.CH(), """
+            def f(total_time, layer_flops):
+                total_time += layer_flops
+                return total_time
+            """, module="repro.engine.fixture")
+        assert len(findings) == 1
+        assert "accumulates" in findings[0].message
+
+    def test_fires_on_misnamed_return(self):
+        findings = lint_snippet(self.CH(), """
+            def region_bytes(compute_time):
+                return compute_time
+            """, module="repro.kernels.fixture")
+        assert len(findings) == 1
+        assert "returns" in findings[0].message
+
+    def test_silent_on_same_unit_arithmetic(self):
+        findings = lint_snippet(self.CH(), """
+            def f(p_time, gen_time, w_bytes, act_bytes, gen_tokens):
+                total_time = p_time + gen_time
+                total_bytes = w_bytes + act_bytes
+                ok = total_time > p_time and gen_tokens > 1
+                return total_time, total_bytes, ok
+            """, module="repro.engine.fixture")
+        assert findings == []
+
+    def test_inline_annotation_binds_unit(self):
+        findings = lint_snippet(self.CH(), """
+            # repro-lint: unit(budget)=seconds
+            def f(budget, act_bytes):
+                return budget + act_bytes
+            """, module="repro.engine.fixture")
+        assert len(findings) == 1
+
+    def test_registry_name_has_unit(self):
+        # "makespan" is in DEFAULT_UNIT_REGISTRY as seconds.
+        findings = lint_snippet(self.CH(), """
+            def f(makespan, total_tokens):
+                return makespan - total_tokens
+            """, module="repro.engine.fixture")
+        assert len(findings) == 1
+
+    def test_rate_units_distinguish_numerators(self):
+        findings = lint_snippet(self.CH(), """
+            def f(tokens_per_s, hbm_bytes_per_s):
+                return tokens_per_s + hbm_bytes_per_s
+            """, module="repro.engine.fixture")
+        assert len(findings) == 1
+
+    def test_no_duplicate_findings_for_nested_expression(self):
+        findings = lint_snippet(self.CH(), """
+            def f(a_bytes, b_time, c_bytes):
+                return a_bytes + b_time + c_bytes
+            """, module="repro.engine.fixture")
+        # One conflict per mismatched addition, not one per AST revisit.
+        assert len(findings) == len({(f.line, f.col, f.message) for f in findings})
+
+
+# -- RP003 sim-determinism --------------------------------------------------
+
+
+class TestSimDeterminism:
+    CH = SimDeterminismChecker
+
+    def test_fires_on_global_numpy_rng(self):
+        findings = lint_snippet(self.CH(), """
+            import numpy as np
+            def jitter(n):
+                return np.random.rand(n)
+            """, module="repro.engine.fixture")
+        assert len(findings) == 1
+        assert "process-global" in findings[0].message
+
+    def test_fires_on_np_random_seed(self):
+        findings = lint_snippet(self.CH(), """
+            import numpy as np
+            def setup():
+                np.random.seed(0)
+            """, module="repro.simcore.fixture")
+        assert len(findings) == 1
+
+    def test_silent_on_seeded_generator(self):
+        findings = lint_snippet(self.CH(), """
+            import numpy as np
+            def jitter(n, seed):
+                rng = np.random.default_rng(seed)
+                return rng.random(n)
+            """, module="repro.engine.fixture")
+        assert findings == []
+
+    def test_fires_on_stdlib_random(self):
+        findings = lint_snippet(self.CH(), """
+            import random
+            def pick(items):
+                return random.choice(items)
+            """, module="repro.fleet.fixture")
+        assert len(findings) == 1
+
+    def test_fires_on_wall_clock(self):
+        findings = lint_snippet(self.CH(), """
+            import time
+            def stamp(event):
+                event.t = time.time()
+            """, module="repro.simcore.fixture")
+        assert len(findings) == 1
+        assert "wall clock" in findings[0].message
+
+    def test_fires_on_datetime_now(self):
+        findings = lint_snippet(self.CH(), """
+            from datetime import datetime
+            def stamp():
+                return datetime.now()
+            """, module="repro.engine.fixture")
+        assert len(findings) == 1
+
+    def test_fires_on_set_iteration(self):
+        findings = lint_snippet(self.CH(), """
+            def drain(queue, a, b):
+                for rid in set(a) | set(b):
+                    queue.push(rid)
+            """, module="repro.fleet.fixture")
+        assert len(findings) == 1
+        assert "sorted" in findings[0].message
+
+    def test_fires_on_tracked_set_variable(self):
+        findings = lint_snippet(self.CH(), """
+            def drain(queue, items):
+                pending = set(items)
+                for rid in pending:
+                    queue.push(rid)
+            """, module="repro.engine.fixture")
+        assert len(findings) == 1
+
+    def test_silent_on_sorted_set(self):
+        findings = lint_snippet(self.CH(), """
+            def drain(queue, a, b):
+                for rid in sorted(set(a) | set(b)):
+                    queue.push(rid)
+            """, module="repro.fleet.fixture")
+        assert findings == []
+
+    def test_scoped_to_simulation_packages(self):
+        findings = lint_snippet(self.CH(), """
+            import numpy as np
+            def f():
+                return np.random.rand()
+            """, module="repro.kernels.fixture")
+        assert findings == []
+
+
+# -- RP004 api-hygiene ------------------------------------------------------
+
+
+class TestApiHygiene:
+    CH = ApiHygieneChecker
+
+    def test_fires_on_mutable_default(self):
+        findings = lint_snippet(self.CH(), """
+            def record(x, acc=[]):
+                acc.append(x)
+                return acc
+            """, module="repro.model.fixture")
+        assert len(findings) == 1
+        assert "mutable default" in findings[0].message
+
+    def test_fires_on_kwonly_dict_default(self):
+        findings = lint_snippet(self.CH(), """
+            def record(x, *, table={}):
+                table[x] = True
+            """, module="repro.model.fixture")
+        assert len(findings) == 1
+
+    def test_silent_on_none_default(self):
+        findings = lint_snippet(self.CH(), """
+            def record(x, acc=None):
+                acc = [] if acc is None else acc
+                acc.append(x)
+                return acc
+            """, module="repro.model.fixture")
+        assert findings == []
+
+    def test_fires_on_phantom_all_export(self):
+        findings = lint_snippet(self.CH(), """
+            from .dense import DenseTransformer
+            __all__ = ["DenseTransformer", "Ghost"]
+            """, module="repro.model", path="__init__.py")
+        assert len(findings) == 1
+        assert "Ghost" in findings[0].message
+
+    def test_fires_on_unlisted_public_reexport(self):
+        findings = lint_snippet(self.CH(), """
+            from .dense import DenseTransformer, LayerWeights
+            __all__ = ["DenseTransformer"]
+            """, module="repro.model", path="__init__.py")
+        assert len(findings) == 1
+        assert "LayerWeights" in findings[0].message
+
+    def test_fires_on_duplicate_all_entry(self):
+        findings = lint_snippet(self.CH(), """
+            from .dense import DenseTransformer
+            __all__ = ["DenseTransformer", "DenseTransformer"]
+            """, module="repro.model", path="__init__.py")
+        assert any("more than once" in f.message for f in findings)
+
+    def test_silent_on_consistent_init(self):
+        findings = lint_snippet(self.CH(), """
+            from __future__ import annotations
+            from .dense import DenseTransformer as _DT
+            from .moe import MoELayer
+            __all__ = ["MoELayer"]
+            """, module="repro.model", path="__init__.py")
+        assert findings == []
+
+    def test_all_drift_skipped_outside_init(self):
+        findings = lint_snippet(self.CH(), """
+            __all__ = ["ghost"]
+            """, module="repro.model.helpers", path="helpers.py")
+        assert findings == []
+
+    def test_all_drift_skipped_when_dynamic(self):
+        findings = lint_snippet(self.CH(), """
+            from .dense import DenseTransformer
+            __all__ = ["DenseTransformer"]
+            __all__ += ["whatever_the_plugin_adds"]
+            """, module="repro.model", path="__init__.py")
+        assert findings == []
+
+
+# -- registry ---------------------------------------------------------------
+
+
+class TestRegistry:
+    def test_all_checkers_covers_rp001_to_rp004(self):
+        codes = [c.code for c in all_checkers()]
+        assert codes == ["RP001", "RP002", "RP003", "RP004"]
+
+    def test_select_subsets_and_validates(self):
+        assert [c.code for c in select_checkers("RP003,RP001")] == ["RP001", "RP003"]
+        assert len(select_checkers(None)) == 4
+        with pytest.raises(ValueError, match="RP999"):
+            select_checkers("RP999")

@@ -1,0 +1,232 @@
+"""CLI, baseline, and suppression tests for repro.lint.
+
+The CLI contract: exit 0 on a clean (or fully baselined/suppressed)
+tree, 1 on new findings, 2 on usage/parse errors; ``--format json``
+emits a machine-readable report (the CI artifact); baselines round-trip
+through ``--write-baseline``.
+"""
+
+from __future__ import annotations
+
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.lint import (
+    Baseline,
+    LintError,
+    all_checkers,
+    iter_python_files,
+    load_source,
+    run_lint,
+)
+from repro.lint.__main__ import main
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+DIRTY = textwrap.dedent("""
+    import numpy as np
+
+    def jitter(n):
+        return np.random.rand(n)
+""")
+
+CLEAN = textwrap.dedent("""
+    import numpy as np
+
+    def jitter(n, seed):
+        rng = np.random.default_rng(seed)
+        return rng.random(n)
+""")
+
+
+@pytest.fixture
+def dirty_tree(tmp_path):
+    # A path containing a "repro/engine" segment so package-scoped
+    # checkers apply, mirroring the real layout.
+    pkg = tmp_path / "repro" / "engine"
+    pkg.mkdir(parents=True)
+    (pkg / "fixture.py").write_text(DIRTY)
+    return tmp_path
+
+
+def run_cli(args, capsys):
+    code = main([str(a) for a in args])
+    out = capsys.readouterr()
+    return code, out.out, out.err
+
+
+class TestExitCodes:
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        pkg = tmp_path / "repro" / "engine"
+        pkg.mkdir(parents=True)
+        (pkg / "fixture.py").write_text(CLEAN)
+        code, out, _ = run_cli([tmp_path, "--no-baseline"], capsys)
+        assert code == 0
+        assert "0 finding(s)" in out
+
+    def test_findings_exit_one(self, dirty_tree, capsys):
+        code, out, _ = run_cli([dirty_tree, "--no-baseline"], capsys)
+        assert code == 1
+        assert "RP003" in out
+
+    def test_missing_path_exits_two(self, tmp_path, capsys):
+        code, _, err = run_cli([tmp_path / "nope.py"], capsys)
+        assert code == 2
+        assert "error" in err
+
+    def test_syntax_error_exits_two(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("def broken(:\n")
+        code, _, err = run_cli([bad], capsys)
+        assert code == 2
+        assert "syntax error" in err
+
+    def test_unknown_select_exits_two(self, dirty_tree, capsys):
+        code, _, err = run_cli([dirty_tree, "--select", "RP999"], capsys)
+        assert code == 2
+
+    def test_select_can_mask_the_finding(self, dirty_tree, capsys):
+        code, _, _ = run_cli(
+            [dirty_tree, "--no-baseline", "--select", "RP001"], capsys)
+        assert code == 0
+
+    def test_list_checkers(self, capsys):
+        code, out, _ = run_cli(["--list-checkers"], capsys)
+        assert code == 0
+        for c in all_checkers():
+            assert c.code in out
+
+
+class TestJsonOutput:
+    def test_json_report_shape(self, dirty_tree, capsys):
+        code, out, _ = run_cli(
+            [dirty_tree, "--no-baseline", "--format", "json"], capsys)
+        assert code == 1
+        payload = json.loads(out[: out.rindex("}") + 1])
+        assert payload["version"] == 1
+        assert payload["counts"]["findings"] == 1
+        (finding,) = payload["findings"]
+        assert finding["code"] == "RP003"
+        assert finding["path"].endswith("fixture.py")
+        assert finding["line"] > 0
+
+    def test_output_file_holds_report(self, dirty_tree, tmp_path, capsys):
+        report = tmp_path / "report.json"
+        code, out, _ = run_cli(
+            [dirty_tree, "--no-baseline", "--format", "json",
+             "--output", report], capsys)
+        assert code == 1
+        payload = json.loads(report.read_text())
+        assert payload["counts"]["findings"] == 1
+        assert "report.json" in out  # summary still printed
+
+
+class TestBaseline:
+    def test_write_then_pass_round_trip(self, dirty_tree, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        code, out, _ = run_cli(
+            [dirty_tree, "--baseline", baseline, "--write-baseline"], capsys)
+        assert code == 0
+        assert "wrote 1 finding(s)" in out
+
+        data = json.loads(baseline.read_text())
+        assert data["version"] == 1
+        (entry,) = data["entries"]
+        assert entry["code"] == "RP003"
+        assert "justification" in entry
+
+        # Same tree + the baseline just written -> clean run.
+        code, out, _ = run_cli([dirty_tree, "--baseline", baseline], capsys)
+        assert code == 0
+        assert "1 baselined" in out
+
+    def test_baseline_does_not_hide_new_findings(self, dirty_tree, tmp_path,
+                                                 capsys):
+        baseline = tmp_path / "baseline.json"
+        run_cli([dirty_tree, "--baseline", baseline, "--write-baseline"],
+                capsys)
+        extra = dirty_tree / "repro" / "engine" / "fresh.py"
+        extra.write_text("import time\n\ndef stamp():\n    return time.time()\n")
+        code, out, _ = run_cli([dirty_tree, "--baseline", baseline], capsys)
+        assert code == 1
+        assert "fresh.py" in out
+
+    def test_malformed_baseline_rejected(self, dirty_tree, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text('{"entries": [{"code": "RP003"}]}')
+        code, _, err = run_cli([dirty_tree, "--baseline", baseline], capsys)
+        assert code == 2
+        assert "justification" in err
+
+    def test_baseline_api_round_trip(self, tmp_path):
+        entries = [{"code": "RP002", "path": "x.py",
+                    "message": "m", "justification": "because"}]
+        Baseline(entries=entries).save(tmp_path / "b.json")
+        loaded = Baseline.load(tmp_path / "b.json")
+        assert loaded.entries == entries
+        assert loaded.fingerprints() == {"RP002|x.py|m"}
+
+
+class TestSuppression:
+    def test_inline_disable_silences_one_code(self, tmp_path):
+        pkg = tmp_path / "repro" / "engine"
+        pkg.mkdir(parents=True)
+        (pkg / "fixture.py").write_text(textwrap.dedent("""
+            import numpy as np
+
+            def jitter(n):
+                return np.random.rand(n)  # repro-lint: disable=RP003
+        """))
+        result = run_lint([tmp_path], all_checkers())
+        assert result.ok
+        assert len(result.suppressed) == 1
+
+    def test_disable_wrong_code_does_not_silence(self, tmp_path):
+        pkg = tmp_path / "repro" / "engine"
+        pkg.mkdir(parents=True)
+        (pkg / "fixture.py").write_text(textwrap.dedent("""
+            import numpy as np
+
+            def jitter(n):
+                return np.random.rand(n)  # repro-lint: disable=RP001
+        """))
+        result = run_lint([tmp_path], all_checkers())
+        assert not result.ok
+
+    def test_bare_disable_silences_everything(self):
+        mod = load_source(
+            "import numpy as np\n"
+            "x = np.random.rand(3)  # repro-lint: disable\n",
+            module="repro.engine.fixture")
+        checker = all_checkers()[2]
+        finding = next(iter(checker.check(mod)))
+        assert mod.suppressed(finding)
+
+
+class TestWalkerAndTree:
+    def test_walker_finds_nested_files_sorted(self, tmp_path):
+        (tmp_path / "b").mkdir()
+        (tmp_path / "b" / "m.py").write_text("x = 1\n")
+        (tmp_path / "a.py").write_text("y = 2\n")
+        (tmp_path / ".hidden").mkdir()
+        (tmp_path / ".hidden" / "skip.py").write_text("z = 3\n")
+        files = iter_python_files([tmp_path])
+        names = [f.name for f in files]
+        assert names == ["a.py", "m.py"]
+
+    def test_walker_rejects_non_python(self, tmp_path):
+        (tmp_path / "data.txt").write_text("hi")
+        with pytest.raises(LintError):
+            iter_python_files([tmp_path / "data.txt"])
+
+    def test_merged_tree_is_clean(self):
+        """Acceptance criterion: the shipped tree lints clean with the
+        shipped (empty-or-justified) baseline."""
+        baseline = Baseline.load(REPO_ROOT / "lint-baseline.json")
+        result = run_lint([REPO_ROOT / "src" / "repro"], all_checkers(),
+                          baseline=baseline, root=REPO_ROOT)
+        assert result.ok, "\n".join(f.format() for f in result.findings)
+        assert result.files_checked > 90
