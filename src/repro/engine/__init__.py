@@ -17,12 +17,14 @@ from .latency import DenseLatencyModel, LatencyReport, Workload
 from .moe import MoELatencyModel, MoEStepBreakdown
 from .scheduler import ADMISSION_POLICIES, SchedRequest, Scheduler, SchedulerEvent
 from .serving_sim import (
+    SUMMARY_DETAIL_THRESHOLD,
     Request,
     ServingReport,
     WorkloadTrace,
     batch_state_of,
     serving_step_times,
     simulate_serving,
+    simulate_serving_reference,
     synthesize_trace,
 )
 from .offload import (
@@ -71,8 +73,10 @@ __all__ = [
     "Request",
     "ServingReport",
     "WorkloadTrace",
+    "SUMMARY_DETAIL_THRESHOLD",
     "serving_step_times",
     "simulate_serving",
+    "simulate_serving_reference",
     "synthesize_trace",
     "ThroughputPoint",
     "Workload",

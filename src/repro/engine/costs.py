@@ -32,6 +32,19 @@ same serving/fleet/tuning stack with one adapter:
 
 Adapters memoize on the (batch, kv, prompt_len) shapes they price —
 a serving replay re-prices the same few shapes thousands of times.
+
+Beyond the two scalar methods, every model prices whole *runs*:
+:meth:`StepCostModel.decode_run_cost` returns the per-iteration costs of
+``steps`` consecutive decode iterations in one NumPy evaluation. Between
+scheduler-relevant events the live batch's composition is frozen — every
+KV length just grows by one per iteration — so the event-compressed
+serving loop (:func:`~repro.engine.serving_sim.simulate_serving`) prices
+a whole stretch with one call instead of ``steps`` Python round-trips.
+The ABC ships a per-step reference fallback; the shipped adapters
+override it with an evaluate-once, slice-forever scheme (a per-batch
+cost-vs-KV array, :class:`_KvRunCache`) whose entries are produced by the
+*same* scalar routine ``decode_cost`` uses, so run pricing is bit-for-bit
+identical to the per-step path.
 """
 
 from __future__ import annotations
@@ -40,6 +53,8 @@ import math
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import Callable, Protocol, runtime_checkable
+
+import numpy as np
 
 __all__ = [
     "BatchState",
@@ -123,6 +138,47 @@ class BatchState:
             raise ValueError("batch must be >= 0")
         return cls((kv_len,) * batch)
 
+    def advanced(self, steps: int = 1) -> "BatchState":
+        """The state after ``steps`` decode iterations with this exact
+        batch composition: every sequence's KV length grows by one per
+        iteration (each generates one token per step)."""
+        if steps < 0:
+            raise ValueError("steps must be >= 0")
+        if steps == 0:
+            return self
+        return BatchState(tuple(kv + steps for kv in self.kv_lens))
+
+
+class _KvRunCache:
+    """Growable cost-vs-KV arrays, one per cache key (e.g. batch size).
+
+    The adapters' decode cost is a pure function of a small shape key
+    plus the (mean) KV length, and a decode run walks a *contiguous* KV
+    range — so the natural vectorized store is an array indexed by KV.
+    Each missing entry is evaluated exactly once via the ``fill``
+    callback (the adapter's scalar pricing routine, so the stored floats
+    are bit-for-bit the scalar path's); after warm-up a whole run prices
+    as one NumPy slice.
+    """
+
+    def __init__(self) -> None:
+        self._arrays: dict = {}
+
+    def run(self, key, kv0: int, steps: int, fill: Callable[[int], float]) -> np.ndarray:
+        """Costs for KV lengths ``kv0 .. kv0+steps-1`` under ``key``."""
+        need = kv0 + steps
+        arr = self._arrays.get(key)
+        if arr is None:
+            arr = self._arrays[key] = np.full(max(need, 64), np.nan)
+        elif arr.size < need:
+            grown = np.full(max(need, 2 * arr.size), np.nan)
+            grown[: arr.size] = arr
+            arr = self._arrays[key] = grown
+        seg = arr[kv0:need]
+        for i in np.nonzero(np.isnan(seg))[0]:
+            seg[i] = fill(kv0 + int(i))
+        return seg.copy()
+
 
 class StepCostModel(ABC):
     """Prices a continuous-batching server's two iteration kinds.
@@ -142,6 +198,35 @@ class StepCostModel(ABC):
     def decode_cost(self, state: BatchState) -> float:
         """Seconds for one decode iteration generating one token for
         every sequence in ``state`` (``state.batch >= 1``)."""
+
+    def decode_run_cost(self, state: BatchState, steps: int) -> np.ndarray:
+        """Per-iteration seconds of ``steps`` consecutive decode
+        iterations starting from ``state``, as a float64 array.
+
+        Element ``i`` equals ``decode_cost(state.advanced(i))``
+        bit-for-bit — the batch's composition is frozen across the run
+        and every KV length grows by one per iteration, which is exactly
+        the situation between two scheduler-relevant events. The base
+        implementation is the per-step reference loop; the shipped
+        adapters override :meth:`_decode_run_cost` with vectorized
+        evaluation.
+        """
+        if steps < 0:
+            raise ValueError("steps must be >= 0")
+        if steps == 0:
+            return np.empty(0)
+        if state.batch < 1:
+            raise ValueError("decode_run_cost needs a non-empty batch")
+        return self._decode_run_cost(state, steps)
+
+    def _decode_run_cost(self, state: BatchState, steps: int) -> np.ndarray:
+        # Per-step reference fallback: correct for any model, one Python
+        # round-trip per iteration.
+        out = np.empty(steps)
+        for i in range(steps):
+            out[i] = self.decode_cost(state)
+            state = state.advanced()
+        return out
 
 
 class ClosureStepCost(StepCostModel):
@@ -167,6 +252,10 @@ class ClosureStepCost(StepCostModel):
     def decode_cost(self, state: BatchState) -> float:
         return self._step_time(state.batch)
 
+    def _decode_run_cost(self, state: BatchState, steps: int) -> np.ndarray:
+        # KV-blind: the run is one closure call broadcast across steps.
+        return np.full(steps, self._step_time(state.batch))
+
 
 class DenseStepCost(StepCostModel):
     """Price serving steps with a :class:`DenseLatencyModel`.
@@ -187,11 +276,23 @@ class DenseStepCost(StepCostModel):
         self.latency_model = latency_model
         self.representative_kv = representative_kv
         self._memo: dict[tuple, float] = {}
+        self._pass_memo: dict[tuple, tuple[float, float]] = {}
+        self._runs = _KvRunCache()
 
     def _rider_kv(self, state: BatchState) -> int:
         if self.representative_kv is not None:
             return self.representative_kv
         return max(1, state.mean_kv)
+
+    def _fwd_pass(self, batch: int, tokens_per_seq: int, kv: int) -> tuple[float, float]:
+        """Memoized ``step_time`` — a prompt pass and a decode pass reuse
+        the same sub-results across thousands of distinct cache keys."""
+        key = (batch, tokens_per_seq, kv)
+        got = self._pass_memo.get(key)
+        if got is None:
+            got = self._pass_memo[key] = self.latency_model.step_time(
+                batch, tokens_per_seq, kv)
+        return got
 
     def prompt_cost(self, state: BatchState, request: _HasPromptLen) -> float:
         riders = state.batch
@@ -199,10 +300,9 @@ class DenseStepCost(StepCostModel):
         key = ("prompt", request.prompt_len, riders, kv)
         got = self._memo.get(key)
         if got is None:
-            k, c = self.latency_model.step_time(
-                1, request.prompt_len, request.prompt_len)
+            k, c = self._fwd_pass(1, request.prompt_len, request.prompt_len)
             if riders:  # the live batch rides along in the same iteration
-                dk, dc = self.latency_model.step_time(riders, 1, kv)
+                dk, dc = self._fwd_pass(riders, 1, kv)
                 k, c = k + dk, c + dc
             got = self._memo[key] = k + c
         return got
@@ -212,9 +312,21 @@ class DenseStepCost(StepCostModel):
         key = ("decode", state.batch, kv)
         got = self._memo.get(key)
         if got is None:
-            k, c = self.latency_model.step_time(max(1, state.batch), 1, kv)
+            k, c = self._fwd_pass(max(1, state.batch), 1, kv)
             got = self._memo[key] = k + c
         return got
+
+    def _decode_run_cost(self, state: BatchState, steps: int) -> np.ndarray:
+        if self.representative_kv is not None:
+            # Compat mode pins KV, so the whole run costs one value.
+            return np.full(steps, self.decode_cost(state))
+        batch = state.batch
+        # mean_kv grows exactly +1 per iteration (every sequence gains one
+        # token, so the ceiling-mean shifts by one).
+        def fill(kv: int) -> float:
+            k, c = self._fwd_pass(batch, 1, kv)
+            return k + c
+        return self._runs.run(batch, max(1, state.mean_kv), steps, fill)
 
 
 class MoEStepCost(StepCostModel):
@@ -230,6 +342,7 @@ class MoEStepCost(StepCostModel):
     def __init__(self, moe_model) -> None:
         self.moe_model = moe_model
         self._memo: dict[tuple, float] = {}
+        self._runs = _KvRunCache()
 
     def _step(self, tokens: int, kv: int) -> float:
         key = (tokens, kv)
@@ -247,6 +360,11 @@ class MoEStepCost(StepCostModel):
     def decode_cost(self, state: BatchState) -> float:
         return self._step(max(1, state.batch), max(1, state.mean_kv))
 
+    def _decode_run_cost(self, state: BatchState, steps: int) -> np.ndarray:
+        tokens = max(1, state.batch)
+        return self._runs.run(tokens, max(1, state.mean_kv), steps,
+                              lambda kv: self._step(tokens, kv))
+
 
 class ZeroStepCost(StepCostModel):
     """Price serving steps with a :class:`ZeroInferenceEngine`.
@@ -261,6 +379,7 @@ class ZeroStepCost(StepCostModel):
     def __init__(self, zero_engine) -> None:
         self.zero_engine = zero_engine
         self._memo: dict[tuple, float] = {}
+        self._runs = _KvRunCache()
 
     def _pass(self, batch: int, tokens_per_seq: int, kv: int) -> float:
         key = (batch, tokens_per_seq, kv)
@@ -278,6 +397,11 @@ class ZeroStepCost(StepCostModel):
 
     def decode_cost(self, state: BatchState) -> float:
         return self._pass(max(1, state.batch), 1, max(1, state.mean_kv))
+
+    def _decode_run_cost(self, state: BatchState, steps: int) -> np.ndarray:
+        batch = max(1, state.batch)
+        return self._runs.run(batch, max(1, state.mean_kv), steps,
+                              lambda kv: self._pass(batch, 1, kv))
 
 
 def resolve_step_costs(

@@ -24,6 +24,7 @@ and retirement decisions by construction.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
@@ -114,7 +115,10 @@ class Scheduler:
             self._pick = ADMISSION_POLICIES[policy]
         self.max_slots = max_slots
         self.eos_token = eos_token
-        self._queue: list[SchedRequest] = []
+        # deque is a registered Sequence, so policy callables index and
+        # scan it exactly as they did the old list; FCFS admissions pop
+        # the head in O(1) instead of list.remove's O(n) shift.
+        self._queue: deque[SchedRequest] = deque()
         self._active: dict[int, SchedRequest] = {}  # admission order
         self._generated: dict[int, int] = {}
         self._step = 0
@@ -123,6 +127,8 @@ class Scheduler:
         self._admit_step: dict[int, int] = {}
         self._retire_step: dict[int, int] = {}
         self._known: set[int] = set()
+        self._admission_order: list[int] = []
+        self._retirement_order: list[int] = []
 
     # -- state views ---------------------------------------------------------
 
@@ -175,18 +181,22 @@ class Scheduler:
 
     @property
     def admission_order(self) -> list[int]:
-        """Request ids in the order they were admitted."""
-        return [e.request_id for e in self.events if e.kind == "admit"]
+        """Request ids in the order they were admitted (a copy)."""
+        return list(self._admission_order)
 
     @property
     def retirement_order(self) -> list[int]:
-        """Request ids in the order they retired."""
-        return [e.request_id for e in self.events if e.kind == "retire"]
+        """Request ids in the order they retired (a copy)."""
+        return list(self._retirement_order)
 
     # -- lifecycle -----------------------------------------------------------
 
     def _log(self, kind: str, request_id: int, reason: str = "") -> None:
         self.events.append(SchedulerEvent(self._step, kind, request_id, reason))
+        if kind == "admit":
+            self._admission_order.append(request_id)
+        elif kind == "retire":
+            self._retirement_order.append(request_id)
 
     def enqueue(self, req: SchedRequest) -> None:
         """Add a request to the waiting queue."""
@@ -217,7 +227,10 @@ class Scheduler:
             cand = self._pick(self._queue)
             if can_admit is not None and not can_admit(cand):
                 break
-            self._queue.remove(cand)
+            if cand is self._queue[0]:  # FCFS and head-of-queue ties: O(1)
+                self._queue.popleft()
+            else:
+                self._queue.remove(cand)
             self._active[cand.request_id] = cand
             self._generated[cand.request_id] = 0
             self._admit_step[cand.request_id] = self._step
@@ -252,6 +265,54 @@ class Scheduler:
         """End the current decode iteration; returns the new step index."""
         self._step += 1
         return self._step
+
+    # -- bulk stepping ---------------------------------------------------
+
+    def decode_horizon(self) -> int:
+        """Decode iterations until the next *length* retirement.
+
+        With the current batch left alone (no admissions, no EOS), every
+        active request survives the next ``decode_horizon() - 1``
+        iterations and at least one retires on the last. This is the
+        longest stretch :meth:`record_tokens` may commit in one call.
+        Returns 0 when no request is active.
+        """
+        if not self._active:
+            return 0
+        return min(req.max_new_tokens - self._generated[rid]
+                   for rid, req in self._active.items())
+
+    def record_tokens(self, steps: int) -> list[int]:
+        """Commit ``steps`` whole decode iterations in one call.
+
+        Equivalent to ``steps`` rounds of :meth:`record_token` for every
+        active request (no real tokens, so length retirement only)
+        followed by :meth:`advance` — same generated counts, same event
+        log, same step indices — without ``steps * batch`` Python
+        round-trips. ``steps`` must not exceed :meth:`decode_horizon`,
+        so only the final iteration can retire anyone. Returns the ids
+        retired by that final iteration, in admission order.
+        """
+        if steps < 1:
+            raise ValueError("steps must be >= 1")
+        if not self._active:
+            raise ValueError("no active requests to record tokens for")
+        if steps > self.decode_horizon():
+            raise ValueError(
+                f"steps={steps} overruns the decode horizon "
+                f"({self.decode_horizon()}): a retirement would be skipped")
+        self._step += steps - 1  # land on the retiring iteration
+        retired: list[int] = []
+        for rid in list(self._active):
+            req = self._active[rid]
+            self._generated[rid] += steps
+            if self._generated[rid] >= req.max_new_tokens:
+                del self._active[rid]
+                self._retire_step[rid] = self._step
+                self._log("retire", rid, "length")
+                retired.append(rid)
+        self._step += 1
+        return retired
 
     # -- introspection ---------------------------------------------------
 

@@ -38,9 +38,24 @@ __all__ = [
     "synthesize_trace",
     "ServingReport",
     "simulate_serving",
+    "simulate_serving_reference",
     "serving_step_times",
     "batch_state_of",
+    "SUMMARY_DETAIL_THRESHOLD",
 ]
+
+#: ``detail="auto"`` switches to ``"summary"`` timelines at this trace
+#: size — per-request lanes allocate O(requests) span objects that
+#: nobody exporting only percentiles ever reads.
+SUMMARY_DETAIL_THRESHOLD = 10_000
+
+# Cap on how many decode iterations one vectorized pricing call covers
+# while an event with a *time* bound (an arrival, a fault) is pending —
+# those can split the run mid-stretch, so pricing far past them is
+# wasted work for per-step cost models. Without such an event the next
+# retirement bounds the run exactly and no cap is needed. Chunking is
+# observably identical (the loop just re-enters mid-stretch).
+_RUN_CHUNK_STEPS = 256
 
 
 @dataclass(frozen=True)
@@ -173,6 +188,16 @@ def batch_state_of(
     ))
 
 
+def _resolve_detail(detail: str, num_requests: int) -> bool:
+    """True for full per-step/per-request timelines, False for summary."""
+    if detail not in ("auto", "full", "summary"):
+        raise ValueError(
+            f"unknown detail {detail!r}; choose 'auto', 'full' or 'summary'")
+    if detail == "auto":
+        return num_requests < SUMMARY_DETAIL_THRESHOLD
+    return detail == "full"
+
+
 def simulate_serving(
     trace: WorkloadTrace,
     *,
@@ -181,6 +206,7 @@ def simulate_serving(
     step_time: Callable[[int], float] | None = None,
     max_batch: int,
     policy: str = "fcfs",
+    detail: str = "auto",
 ) -> ServingReport:
     """Replay ``trace`` through a continuous-batching server.
 
@@ -195,10 +221,166 @@ def simulate_serving(
     ``prompt_time(batch, prompt_len)`` / ``step_time(batch)`` closure
     pair is still accepted in place of ``costs``.
 
+    The replay is *event-compressed*: between scheduler-relevant events
+    (the next arrival, the next length retirement) the batch composition
+    is frozen, so whole stretches of decode iterations are priced with
+    one :meth:`~repro.engine.costs.StepCostModel.decode_run_cost` call
+    and committed with one bulk
+    :meth:`~repro.engine.scheduler.Scheduler.record_tokens`. Reports are
+    bit-for-bit identical to the retained per-step oracle
+    (:func:`simulate_serving_reference`) — same makespan, same
+    per-request times, same scheduler event log.
+
+    ``detail`` controls timeline fidelity: ``"full"`` records per-step
+    server spans and per-request queued/decode lanes; ``"summary"``
+    records one aggregated server span per compressed stretch and skips
+    the per-request lanes (O(requests) span objects saved); ``"auto"``
+    (default) picks summary at :data:`SUMMARY_DETAIL_THRESHOLD` requests
+    and full below it. The *report* numbers are identical at every
+    level.
+
     The returned report carries the scheduler (event log, orderings) and
-    a priced :class:`Timeline` — per-request queued/decode lanes plus a
-    ``server`` lane of prefill/decode iterations — exportable with
+    a priced :class:`Timeline` — exportable with
     ``timeline.to_chrome_trace()``.
+    """
+    if max_batch < 1:
+        raise ValueError("max_batch must be >= 1")
+    full = _resolve_detail(detail, len(trace.requests))
+    cost_model = resolve_step_costs(costs, prompt_time, step_time)
+    sched = Scheduler(max_batch, policy=policy)
+    timeline = Timeline()
+    requests = trace.requests
+    cursor = 0  # arrival cursor: O(1) per drain, no per-call trace copy
+    admit_at: dict[int, float] = {}
+    now = 0.0
+    finish: dict[int, float] = {}
+    first: dict[int, float] = {}
+    delays: dict[int, float] = {}
+    total_tokens = 0
+    # Incrementally maintained batch view: rid -> prompt + generated, in
+    # admission order (mirrors ``sched.active``), replacing per-step
+    # ``batch_state_of`` rebuilds.
+    live_kv: dict[int, int] = {}
+
+    def enqueue_arrived() -> None:
+        nonlocal cursor
+        while cursor < len(requests) and requests[cursor].arrival <= now:
+            r = requests[cursor]
+            cursor += 1
+            sched.enqueue(SchedRequest(
+                request_id=r.request_id,
+                prompt_len=r.prompt_len,
+                max_new_tokens=r.gen_tokens,
+                arrival=r.arrival,
+            ))
+
+    while cursor < len(requests) or sched.num_waiting or sched.num_active:
+        # Fast-forward to the next arrival when idle.
+        if (not sched.num_active and not sched.num_waiting
+                and cursor < len(requests)
+                and requests[cursor].arrival > now):
+            now = requests[cursor].arrival
+        enqueue_arrived()
+        # Admit one at a time, paying each prompt pass, so requests
+        # arriving *during* a prompt pass can join this round's queue.
+        while True:
+            admitted = sched.admit(max_admit=1)
+            if not admitted:
+                break
+            s = admitted[0]
+            delays[s.request_id] = now - s.arrival
+            start = now
+            # ``live_kv`` excludes the newcomer by construction: it is
+            # inserted only after its prompt pass is priced.
+            now += cost_model.prompt_cost(
+                BatchState(tuple(live_kv.values())), s)
+            timeline.record("server", start, now, f"prefill r{s.request_id}")
+            if full:
+                timeline.record(f"req-{s.request_id}", s.arrival, start,
+                                "queued")
+            admit_at[s.request_id] = now
+            first[s.request_id] = now  # prompt pass yields token 1
+            total_tokens += 1
+            if sched.record_token(s.request_id) is not None:
+                finish[s.request_id] = now
+                if full:
+                    timeline.record(f"req-{s.request_id}", start, now,
+                                    "decode")
+            else:
+                live_kv[s.request_id] = s.prompt_len + 1
+            enqueue_arrived()
+        if not sched.num_active:
+            continue
+        # Event-compressed decode: until the next arrival or length
+        # retirement the batch is frozen, so price the whole stretch in
+        # one vectorized call and commit it in one bulk advance. The
+        # cumsum *includes* ``now`` so the float additions associate
+        # exactly as the per-step ``now += cost`` loop.
+        batch = sched.num_active
+        horizon = sched.decode_horizon()
+        if cursor < len(requests):
+            horizon = min(horizon, _RUN_CHUNK_STEPS)
+        run = cost_model.decode_run_cost(
+            BatchState(tuple(live_kv.values())), horizon)
+        buf = np.empty(horizon + 1)
+        buf[0] = now
+        buf[1:] = run
+        ends = np.cumsum(buf, out=buf)[1:]
+        n = horizon
+        if cursor < len(requests):
+            # Steps are pure only while every intermediate loop-top stays
+            # strictly before the next arrival's enqueue point.
+            k = int(np.searchsorted(ends, requests[cursor].arrival,
+                                    side="left"))
+            n = min(n, k + 1)
+        ends_list = ends[:n].tolist()  # exact float64 -> float
+        start = now
+        now = ends_list[-1]
+        retired = sched.record_tokens(n)
+        total_tokens += n * batch
+        if full:
+            s_prev = start
+            for e in ends_list:
+                timeline.record("server", s_prev, e, f"decode x{batch}")
+                s_prev = e
+        else:
+            timeline.record("server", start, now,
+                            f"decode x{batch} ({n} steps)")
+        for rid in retired:
+            finish[rid] = now
+            if full:
+                timeline.record(f"req-{rid}", admit_at[rid], now, "decode")
+            del live_kv[rid]
+        for rid in live_kv:
+            live_kv[rid] += n
+
+    return ServingReport(
+        makespan=now,
+        finish_times=finish,
+        first_token_times=first,
+        queue_delays=delays,
+        total_tokens=total_tokens,
+        scheduler=sched,
+        timeline=timeline,
+    )
+
+
+def simulate_serving_reference(
+    trace: WorkloadTrace,
+    *,
+    costs: StepCostModel | None = None,
+    prompt_time: Callable[[int, int], float] | None = None,
+    step_time: Callable[[int], float] | None = None,
+    max_batch: int,
+    policy: str = "fcfs",
+) -> ServingReport:
+    """Per-step reference oracle for :func:`simulate_serving`.
+
+    The pre-compression implementation, retained verbatim: one Python
+    round-trip per decode iteration, ``batch_state_of`` tuple rebuild
+    per pricing call, always-full timelines. The equivalence tests (and
+    the speed benchmark's baseline leg) hold :func:`simulate_serving`
+    bit-for-bit against this.
     """
     if max_batch < 1:
         raise ValueError("max_batch must be >= 1")

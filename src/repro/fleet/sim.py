@@ -41,10 +41,10 @@ from typing import Callable
 
 import numpy as np
 
-from ..engine.costs import StepCostModel, resolve_step_costs
+from ..engine.costs import BatchState, StepCostModel, resolve_step_costs
 from ..engine.generation import GenerationSession
 from ..engine.scheduler import SchedRequest, Scheduler
-from ..engine.serving_sim import Request, WorkloadTrace, batch_state_of
+from ..engine.serving_sim import _RUN_CHUNK_STEPS, Request, WorkloadTrace, _resolve_detail
 from ..rng import SeedLike, as_generator
 from ..simcore.trace import Timeline
 from .faults import FaultPlan
@@ -67,10 +67,11 @@ class _Replica:
     actions so the fleet event loop can interleave replicas."""
 
     def __init__(self, index: int, *, max_batch: int, policy: str,
-                 costs: StepCostModel) -> None:
+                 costs: StepCostModel, full: bool = True) -> None:
         self.index = index
         self.sched = Scheduler(max_batch, policy=policy)
         self.costs = costs
+        self.full = full  # full timelines vs summary (aggregated) spans
         self.now = 0.0
         self.alive = True
         self.slow_from = _INF
@@ -79,7 +80,9 @@ class _Replica:
         self._mid_round = False
         self.inbox: deque[tuple[float, Request]] = deque()  # delivered, unenqueued
         self.by_id: dict[int, Request] = {}
-        self._plens: dict[int, int] = {}  # request -> prompt_len (for pricing)
+        # Incremental batch view: rid -> prompt + generated, admission
+        # order (mirrors ``sched.active``) — no per-step tuple rebuilds.
+        self._live_kv: dict[int, int] = {}
         self.admit_start: dict[int, float] = {}
         self.admit_at: dict[int, float] = {}
         self.first: dict[int, float] = {}
@@ -93,7 +96,6 @@ class _Replica:
         """Hand over a routed request (enqueued before the next action)."""
         self.inbox.append((t, request))
         self.by_id[request.request_id] = request
-        self._plens[request.request_id] = request.prompt_len
 
     def _enqueue_arrived(self) -> None:
         while self.inbox and self.inbox[0][0] <= self.now:
@@ -120,9 +122,20 @@ class _Replica:
     def _cost(self, dt: float) -> float:
         return dt * (self.slow_factor if self.now >= self.slow_from else 1.0)
 
-    def perform_action(self, on_complete) -> str | None:
+    def perform_action(self, on_complete, *, t_limit: float = _INF,
+                       max_steps: int | None = None) -> str | None:
         """Run one atomic action: admit one request (paying its prompt
-        pass) if possible, else decode one iteration. Returns what ran."""
+        pass) if possible, else decode a whole *stretch* of iterations.
+        Returns what ran.
+
+        ``t_limit`` bounds a decode stretch: only iterations *starting*
+        strictly before it are committed (the fleet loop passes the next
+        arrival/fault time, so a run splits exactly where a per-step
+        replica would have yielded to the event loop). A replica's own
+        inbox, the next length retirement, and a pending slowdown onset
+        split the run the same way. ``max_steps`` caps the stretch
+        (``1`` recovers per-step stepping, used by :meth:`crash`).
+        """
         t = self.next_action_time()
         if t == _INF:
             return None
@@ -133,37 +146,78 @@ class _Replica:
             s = admitted[0]
             self._mid_round = True
             start = self.now
+            # ``_live_kv`` excludes the newcomer: inserted after pricing.
             self.now += self._cost(self.costs.prompt_cost(
-                batch_state_of(self.sched, self._plens,
-                               exclude=s.request_id), s))
+                BatchState(tuple(self._live_kv.values())), s))
             self.timeline.record("server", start, self.now,
                                  f"prefill r{s.request_id}")
-            self.timeline.record(f"req-{s.request_id}", s.arrival, start,
-                                 "queued")
+            if self.full:
+                self.timeline.record(f"req-{s.request_id}", s.arrival, start,
+                                     "queued")
             self.admit_start[s.request_id] = start
             self.admit_at[s.request_id] = self.now
             self.first[s.request_id] = self.now  # prompt pass yields token 1
             self.tokens += 1
             if self.sched.record_token(s.request_id) is not None:
                 self.finish[s.request_id] = self.now
-                self.timeline.record(f"req-{s.request_id}", start, self.now,
-                                     "decode")
+                if self.full:
+                    self.timeline.record(f"req-{s.request_id}", start,
+                                         self.now, "decode")
                 on_complete(self.index, self.by_id[s.request_id], self.now)
+            else:
+                self._live_kv[s.request_id] = s.prompt_len + 1
             return "admit"
         if self.sched.num_active:
             batch = self.sched.num_active
+            # Iterations are committed only while every intermediate
+            # step start stays strictly before each break time: the
+            # event-loop limit, this replica's own next delivery, and —
+            # while still at full speed — the slowdown onset.
+            t_break = t_limit
+            if self.inbox:
+                t_break = min(t_break, self.inbox[0][0])
+            if self.now < self.slow_from < t_break:
+                t_break = self.slow_from
+            horizon = self.sched.decode_horizon()
+            if t_break != _INF:
+                horizon = min(horizon, _RUN_CHUNK_STEPS)
+            if max_steps is not None:
+                horizon = min(horizon, max_steps)
+            factor = self.slow_factor if self.now >= self.slow_from else 1.0
+            raw = self.costs.decode_run_cost(
+                BatchState(tuple(self._live_kv.values())), horizon)
+            costs_arr = raw * factor  # x * 1.0 is exact, so always safe
+            buf = np.empty(horizon + 1)
+            buf[0] = self.now
+            buf[1:] = costs_arr
+            ends = np.cumsum(buf, out=buf)[1:]
+            n = horizon
+            if t_break != _INF:
+                k = int(np.searchsorted(ends, t_break, side="left"))
+                n = min(n, k + 1)
+            ends_list = ends[:n].tolist()  # exact float64 -> float
             start = self.now
-            self.now += self._cost(self.costs.decode_cost(
-                batch_state_of(self.sched, self._plens)))
-            self.timeline.record("server", start, self.now, f"decode x{batch}")
-            self.tokens += batch
-            for rid in self.sched.active:
-                if self.sched.record_token(rid) is not None:
-                    self.finish[rid] = self.now
+            self.now = ends_list[-1]
+            retired = self.sched.record_tokens(n)
+            self.tokens += n * batch
+            if self.full:
+                s_prev = start
+                for e in ends_list:
+                    self.timeline.record("server", s_prev, e,
+                                         f"decode x{batch}")
+                    s_prev = e
+            else:
+                self.timeline.record("server", start, self.now,
+                                     f"decode x{batch} ({n} steps)")
+            for rid in retired:
+                self.finish[rid] = self.now
+                if self.full:
                     self.timeline.record(f"req-{rid}", self.admit_at[rid],
                                          self.now, "decode")
-                    on_complete(self.index, self.by_id[rid], self.now)
-            self.sched.advance()
+                on_complete(self.index, self.by_id[rid], self.now)
+                del self._live_kv[rid]
+            for rid in self._live_kv:
+                self._live_kv[rid] += n
             self._mid_round = False
             return "decode"
         return None
@@ -176,7 +230,9 @@ class _Replica:
         (queued, in flight, or undelivered) for requeueing. Returns
         ``(requeue_time, request)`` victims in scheduler order."""
         while self._mid_round:
-            if self.perform_action(on_complete) is None:
+            # Per-step stepping: the in-flight round must finish exactly
+            # where a per-step replica would, not run a whole stretch.
+            if self.perform_action(on_complete, max_steps=1) is None:
                 # The round cannot reach its decode (everything retired
                 # in prompt passes); close the step so the event log
                 # stays boundary-aligned for functional replay.
@@ -225,6 +281,8 @@ def simulate_fleet(
     policy: str = "fcfs",
     routing: str | RoutingPolicy = "round_robin",
     fault_plan: FaultPlan | None = None,
+    detail: str = "auto",
+    _max_run_steps: int | None = None,
 ) -> FleetReport:
     """Serve ``trace`` on ``num_replicas`` priced replicas behind a router.
 
@@ -238,17 +296,29 @@ def simulate_fleet(
     survivors and restart from scratch; the run fails only if every
     replica crashes (which :meth:`FaultPlan.validate_against` rejects up
     front).
+
+    Replicas decode in event-compressed stretches (see
+    :func:`~repro.engine.serving_sim.simulate_serving`); arrivals,
+    faults, slowdown onsets and retirements split a stretch exactly
+    where per-step stepping would act, so reports are bit-for-bit
+    independent of the compression. ``detail`` has the single-server
+    semantics (``"summary"`` skips per-request lanes and aggregates
+    per-stretch server spans; ``"auto"`` switches on trace size).
+    ``_max_run_steps`` caps every stretch (``1`` forces the per-step
+    reference behavior; equivalence tests use it as the oracle).
     """
     if num_replicas < 1:
         raise ValueError("num_replicas must be >= 1")
     if max_batch < 1:
         raise ValueError("max_batch must be >= 1")
+    full = _resolve_detail(detail, len(trace.requests))
     cost_model = resolve_step_costs(costs, prompt_time, step_time)
     plan = fault_plan or FaultPlan()
     plan.validate_against(num_replicas)
 
     replicas = [
-        _Replica(i, max_batch=max_batch, policy=policy, costs=cost_model)
+        _Replica(i, max_batch=max_batch, policy=policy, costs=cost_model,
+                 full=full)
         for i in range(num_replicas)
     ]
     for i, (t, factor) in plan.slowdowns().items():
@@ -304,7 +374,9 @@ def simulate_fleet(
             replica_of[r.request_id] = target
             replicas[target].deliver(r, t)
             continue
-        replicas[act_i].perform_action(on_complete)
+        replicas[act_i].perform_action(on_complete,
+                                       t_limit=min(t_arr, t_fault),
+                                       max_steps=_max_run_steps)
 
     # -- assemble the report --------------------------------------------
     finish: dict[int, float] = {}
@@ -413,6 +485,7 @@ def run_fleet_functional(
     fault_plan: FaultPlan | None = None,
     prompts: dict[int, np.ndarray] | None = None,
     seed: SeedLike = 0,
+    detail: str = "auto",
 ) -> FleetFunctionalResult:
     """Serve ``trace`` on real :class:`GenerationSession` replicas.
 
@@ -433,6 +506,7 @@ def run_fleet_functional(
         trace, num_replicas=num_replicas, costs=costs,
         prompt_time=prompt_time, step_time=step_time, max_batch=max_batch,
         policy=policy, routing=routing, fault_plan=fault_plan,
+        detail=detail,
     )
     if prompts is None:
         prompts = synthesize_prompts(trace, vocab=model.config.vocab,

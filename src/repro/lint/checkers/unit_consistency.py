@@ -51,6 +51,7 @@ _SUFFIX_UNITS: tuple[tuple[str, str], ...] = (
     ("_gbytes", "gigabytes"),
     ("_seconds", "seconds"),
     ("_tokens", "tokens"),
+    ("_steps", "steps"),
     ("_flops", "flops"),
     ("_bytes", "bytes"),
     ("_time", "seconds"),
@@ -61,7 +62,9 @@ _SUFFIX_UNITS: tuple[tuple[str, str], ...] = (
     ("_s", "seconds"),
 )
 
-_RATE_NUMERATORS = (("tokens", "tokens"), ("bytes", "bytes"), ("flops", "flops"))
+_RATE_NUMERATORS = (("requests", "requests"), ("tokens", "tokens"),
+                    ("bytes", "bytes"), ("flops", "flops"),
+                    ("steps", "steps"))
 
 _FLAGGED_BINOPS = (ast.Add, ast.Sub)
 

@@ -45,14 +45,25 @@ class Timeline:
     def record(self, lane: str, start: float, end: float, label: str = "") -> Span:
         """Add a span to ``lane`` and return it."""
         span = Span(start, end, label)
-        insort(self._lanes.setdefault(lane, []), span)
+        spans = self._lanes.setdefault(lane, [])
+        # Simulators append in time order; skip insort's O(log n)
+        # dataclass comparisons (equivalent to insort at the end).
+        if not spans or not span < spans[-1]:
+            spans.append(span)
+        else:
+            insort(spans, span)
         return span
 
     def record_instant(self, lane: str, t: float, label: str = "") -> None:
         """Mark a point event on ``lane`` (a scheduler decision, an
         arrival) — exported as a Chrome *instant* event, not a span, so
         it never affects busy time or overlap checks."""
-        insort(self._instants.setdefault(lane, []), (t, label))
+        item = (t, label)
+        instants = self._instants.setdefault(lane, [])
+        if not instants or not item < instants[-1]:
+            instants.append(item)
+        else:
+            insort(instants, item)
 
     def instants(self, lane: str) -> list[tuple[float, str]]:
         """Point events of one lane, ordered by time."""

@@ -10,6 +10,7 @@ costs, monotone non-decreasing in batch size and KV length.
 import math
 import warnings
 
+import numpy as np
 import pytest
 
 from repro.engine import (
@@ -20,6 +21,7 @@ from repro.engine import (
     MoELatencyModel,
     MoEStepCost,
     PromptShape,
+    StepCostModel,
     ZeroStepCost,
     resolve_step_costs,
     serving_step_times,
@@ -274,6 +276,85 @@ class TestServingStepTimesShim:
                 assert prompt_t(batch, prompt_len) == compat.prompt_cost(
                     BatchState.uniform(batch - 1, rep_kv),
                     PromptShape(prompt_len))
+
+
+class TestDecodeRunCost:
+    """Vectorized run pricing must equal the per-step scalar loop
+    bit-for-bit — it is the foundation of the event-compressed serving
+    simulator's exactness guarantee."""
+
+    STEPS = 40
+
+    def _reference(self, cost, state, steps):
+        out = []
+        for i in range(steps):
+            out.append(cost.decode_cost(state.advanced(i)))
+        return out
+
+    @pytest.fixture(params=["dense", "moe", "zero"])
+    def cost(self, request, dense_cost, moe_cost, zero_cost):
+        return {"dense": dense_cost, "moe": moe_cost,
+                "zero": zero_cost}[request.param]
+
+    @pytest.mark.parametrize("state", [
+        BatchState.uniform(1, 32),
+        BatchState.uniform(4, 128),
+        BatchState((17, 128, 301)),  # ragged KV
+    ])
+    def test_bitwise_equals_scalar_loop(self, cost, state):
+        run = cost.decode_run_cost(state, self.STEPS)
+        assert run.dtype == np.float64 and run.shape == (self.STEPS,)
+        assert run.tolist() == self._reference(cost, state, self.STEPS)
+
+    def test_warm_cache_still_bitwise(self, cost):
+        state = BatchState.uniform(3, 64)
+        first = cost.decode_run_cost(state, self.STEPS)
+        again = cost.decode_run_cost(state, self.STEPS)
+        assert first.tolist() == again.tolist()
+        # Extending past the cached range stays exact too.
+        longer = cost.decode_run_cost(state, 3 * self.STEPS)
+        assert longer[:self.STEPS].tolist() == first.tolist()
+        assert longer.tolist() == self._reference(cost, state, 3 * self.STEPS)
+
+    def test_closure_adapter(self):
+        cost = ClosureStepCost(lambda b, p: 1.0, lambda b: 0.25 * b)
+        state = BatchState.uniform(4, 10)
+        run = cost.decode_run_cost(state, 5)
+        assert run.tolist() == self._reference(cost, state, 5)
+
+    def test_compat_mode_is_flat(self):
+        model = DenseLatencyModel(DENSE_ZOO["gpt-13b"], dgx_a100_cluster(1),
+                                  tp=4)
+        compat = DenseStepCost(model, representative_kv=136)
+        state = BatchState.uniform(4, 64)
+        run = compat.decode_run_cost(state, 6)
+        assert run.tolist() == [compat.decode_cost(state)] * 6
+        assert run.tolist() == self._reference(compat, state, 6)
+
+    def test_base_class_fallback(self):
+        """A subclass that does not override _decode_run_cost gets the
+        per-step reference loop from the ABC."""
+        class Plain(ClosureStepCost):
+            _decode_run_cost = StepCostModel._decode_run_cost
+
+        cost = Plain(lambda b, p: 1.0, lambda b: 0.5 * b)
+        state = BatchState.uniform(2, 8)
+        assert cost.decode_run_cost(state, 4).tolist() == [1.0] * 4
+
+    def test_validation(self, dense_cost):
+        state = BatchState.uniform(2, 16)
+        assert dense_cost.decode_run_cost(state, 0).shape == (0,)
+        with pytest.raises(ValueError):
+            dense_cost.decode_run_cost(state, -1)
+        with pytest.raises(ValueError):
+            dense_cost.decode_run_cost(BatchState(()), 3)
+
+    def test_advanced(self):
+        s = BatchState((5, 9))
+        assert s.advanced(0) is s
+        assert s.advanced(3) == BatchState((8, 12))
+        with pytest.raises(ValueError):
+            s.advanced(-1)
 
 
 class TestMoEServingEndToEnd:

@@ -140,6 +140,80 @@ class TestLifecycle:
             SchedRequest(0, prompt_len=1, max_new_tokens=0)
 
 
+class TestBulkStepping:
+    """decode_horizon()/record_tokens(n) — the event-compressed serving
+    loop's bulk interface — must replay record_token/advance exactly."""
+
+    def _mirror(self, seed):
+        """Two identically-loaded schedulers."""
+        rng = np.random.default_rng(seed)
+        specs = [(rid, int(rng.integers(1, 9)), int(rng.integers(1, 7)))
+                 for rid in range(9)]
+        pair = []
+        for _ in range(2):
+            s = Scheduler(3)
+            for rid, plen, gen in specs:
+                s.enqueue(_req(rid, prompt_len=plen, max_new=gen))
+            pair.append(s)
+        return pair
+
+    def test_horizon_counts_steps_to_next_length_retirement(self):
+        s = Scheduler(3)
+        for rid, gen in [(0, 5), (1, 2), (2, 9)]:
+            s.enqueue(_req(rid, max_new=gen))
+        assert s.decode_horizon() == 0  # nothing admitted yet
+        s.admit()
+        assert s.decode_horizon() == 2
+        assert s.record_tokens(2) == [1]
+        assert s.decode_horizon() == 3  # request 0 has 3 of 5 left
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_bulk_equals_per_step_replay(self, seed):
+        """Interleave admissions with full-horizon bulk advances on one
+        scheduler and per-step record_token/advance on its mirror: state
+        and the complete event log must coincide."""
+        bulk, single = self._mirror(seed)
+        while True:
+            bulk.admit()
+            single.admit()
+            if not bulk.num_active:
+                break
+            n = bulk.decode_horizon()
+            retired_bulk = bulk.record_tokens(n)
+            retired_single = []
+            for _ in range(n):
+                for rid in single.active:
+                    if single.record_token(rid) is not None:
+                        retired_single.append(rid)
+                single.advance()
+            assert retired_bulk == retired_single
+            assert bulk.step == single.step
+        assert bulk.events == single.events
+        assert bulk.admission_order == single.admission_order
+        assert bulk.retirement_order == single.retirement_order
+        assert bulk.to_timeline().to_rows() == single.to_timeline().to_rows()
+
+    def test_partial_run_retires_nobody(self):
+        s = Scheduler(2)
+        s.enqueue(_req(0, max_new=5))
+        s.admit()
+        assert s.record_tokens(4) == []
+        assert s.generated(0) == 4
+        assert s.step == 4
+
+    def test_validation(self):
+        s = Scheduler(1)
+        with pytest.raises(ValueError, match="no active"):
+            s.record_tokens(1)
+        s.enqueue(_req(0, max_new=3))
+        s.admit()
+        with pytest.raises(ValueError):
+            s.record_tokens(0)
+        with pytest.raises(ValueError, match="horizon"):
+            s.record_tokens(4)  # would skip the step-2 retirement
+        assert s.record_tokens(3) == [0]
+
+
 class TestTimelineExport:
     def test_queued_and_active_spans(self):
         s = Scheduler(1)

@@ -1,0 +1,212 @@
+"""Bit-for-bit equivalence of the event-compressed serving fast path.
+
+``simulate_serving`` prices whole decode stretches with one vectorized
+``decode_run_cost`` call; ``simulate_serving_reference`` retains the
+per-step loop it replaced. The refactor's contract is *exactness*, not
+approximation: with ``detail="full"`` the compressed simulator must
+reproduce the reference — report, scheduler event log, and timeline —
+bit for bit, across every cost adapter and admission policy. The fleet
+layer inherits the same machinery, so its compressed replicas are
+checked against per-step stepping (``_max_run_steps=1``) under crashes,
+slowdowns and every routing policy, and a one-replica fleet against the
+single-server simulator.
+"""
+
+import pytest
+
+import repro.engine.serving_sim as serving_sim_mod
+from repro.engine import (
+    ClosureStepCost,
+    DenseLatencyModel,
+    DenseStepCost,
+    MoELatencyModel,
+    MoEStepCost,
+    ZeroStepCost,
+    simulate_serving,
+    simulate_serving_reference,
+    synthesize_trace,
+)
+from repro.fleet import FaultPlan, ReplicaFault, simulate_fleet
+from repro.hardware import dgx2_v100, dgx_a100_cluster
+from repro.model import DENSE_ZOO, MOE_PARALLELISM, MOE_ZOO, get_model
+from repro.zero import ZeroInferenceEngine
+
+MAX_BATCH = 4
+
+
+@pytest.fixture(scope="module")
+def dense_cost():
+    model = DenseLatencyModel(DENSE_ZOO["gpt-13b"], dgx_a100_cluster(1), tp=4)
+    return DenseStepCost(model)
+
+
+@pytest.fixture(scope="module")
+def moe_cost():
+    cluster = dgx_a100_cluster(16)
+    cfg = MOE_ZOO["1.3b-moe-128"]
+    model = MoELatencyModel(cfg, cluster, MOE_PARALLELISM[cfg.name],
+                            optimized=True)
+    return MoEStepCost(model)
+
+
+@pytest.fixture(scope="module")
+def zero_cost():
+    engine = ZeroInferenceEngine(get_model("gpt-neox-20b"), dgx2_v100(1))
+    return ZeroStepCost(engine)
+
+
+@pytest.fixture
+def cost(request, dense_cost, moe_cost, zero_cost):
+    """Every pricing mode the simulators accept, by name."""
+    if request.param == "dense":
+        return dense_cost
+    if request.param == "moe":
+        return moe_cost
+    if request.param == "zero":
+        return zero_cost
+    if request.param == "dense-compat":
+        model = DenseLatencyModel(DENSE_ZOO["gpt-13b"], dgx_a100_cluster(1),
+                                  tp=4)
+        return DenseStepCost(model, representative_kv=136)
+    assert request.param == "closure"
+    return ClosureStepCost(lambda b, p: 0.3 + 0.01 * p,
+                           lambda b: 0.05 + 0.01 * b)
+
+
+def _trace(n=80, seed=7, rate=40.0):
+    """Arrivals dense enough to exercise queueing, sparse enough that
+    stretches get split by arrivals mid-run."""
+    return synthesize_trace(num_requests=n, arrival_rate=rate,
+                            mean_prompt=32, mean_gen=12, seed=seed)
+
+
+def _events(sched):
+    return [(e.step, e.kind, e.request_id, e.reason) for e in sched.events]
+
+
+class TestServingBitForBit:
+    """The acceptance matrix: adapters x policies, full fidelity."""
+
+    @pytest.mark.parametrize(
+        "cost", ["dense", "dense-compat", "moe", "zero", "closure"],
+        indirect=True)
+    @pytest.mark.parametrize("policy", ["fcfs", "shortest_prompt"])
+    def test_report_events_and_timeline_identical(self, cost, policy):
+        trace = _trace()
+        fast = simulate_serving(trace, costs=cost, max_batch=MAX_BATCH,
+                                policy=policy, detail="full")
+        ref = simulate_serving_reference(trace, costs=cost,
+                                         max_batch=MAX_BATCH, policy=policy)
+        # ServingReport equality covers makespan, finish/first-token/
+        # queue-delay dicts and total_tokens (dataclass ==).
+        assert fast == ref
+        assert _events(fast.scheduler) == _events(ref.scheduler)
+        assert fast.timeline.to_rows() == ref.timeline.to_rows()
+
+    def test_burst_trace_saturates_then_drains(self, dense_cost):
+        """All-at-t=0 arrivals: after admission the queue drains with no
+        arrival breaks, so stretches reach the retirement horizon."""
+        trace = _trace(n=40, rate=1e9)
+        fast = simulate_serving(trace, costs=dense_cost, max_batch=MAX_BATCH,
+                                detail="full")
+        ref = simulate_serving_reference(trace, costs=dense_cost,
+                                         max_batch=MAX_BATCH)
+        assert fast == ref
+        assert fast.timeline.to_rows() == ref.timeline.to_rows()
+
+
+class TestDetailLevels:
+    def test_summary_report_equals_full(self, dense_cost):
+        trace = _trace()
+        full = simulate_serving(trace, costs=dense_cost, max_batch=MAX_BATCH,
+                                detail="full")
+        summary = simulate_serving(trace, costs=dense_cost,
+                                   max_batch=MAX_BATCH, detail="summary")
+        assert summary == full  # numbers never degrade, only the timeline
+        assert _events(summary.scheduler) == _events(full.scheduler)
+
+    def test_summary_drops_per_request_lanes(self, dense_cost):
+        trace = _trace(n=30)
+        full = simulate_serving(trace, costs=dense_cost, max_batch=MAX_BATCH,
+                                detail="full")
+        summary = simulate_serving(trace, costs=dense_cost,
+                                   max_batch=MAX_BATCH, detail="summary")
+        assert any(lane.startswith("req-") for lane in full.timeline.lanes())
+        assert not any(lane.startswith("req-")
+                       for lane in summary.timeline.lanes())
+        assert "server" in summary.timeline.lanes()
+        # Aggregation also shrinks the server lane itself.
+        assert len(summary.timeline.spans("server")) < \
+            len(full.timeline.spans("server"))
+
+    def test_auto_switches_at_threshold(self, dense_cost, monkeypatch):
+        monkeypatch.setattr(serving_sim_mod, "SUMMARY_DETAIL_THRESHOLD", 20)
+        small = simulate_serving(_trace(n=10), costs=dense_cost,
+                                 max_batch=MAX_BATCH)
+        big = simulate_serving(_trace(n=25), costs=dense_cost,
+                               max_batch=MAX_BATCH)
+        assert any(lane.startswith("req-") for lane in small.timeline.lanes())
+        assert not any(lane.startswith("req-")
+                       for lane in big.timeline.lanes())
+
+    def test_unknown_detail_rejected(self, dense_cost):
+        with pytest.raises(ValueError, match="detail"):
+            simulate_serving(_trace(n=5), costs=dense_cost,
+                             max_batch=MAX_BATCH, detail="chatty")
+
+
+FAULT_PLANS = {
+    "none": None,
+    "crash": FaultPlan((ReplicaFault(1, 0.9, "crash"),)),
+    "slowdown": FaultPlan((ReplicaFault(0, 0.5, "slowdown", factor=2.5),)),
+    "crash+slowdown": FaultPlan((
+        ReplicaFault(1, 0.9, "crash"),
+        ReplicaFault(2, 0.4, "slowdown", factor=1.8),
+    )),
+}
+
+
+class TestFleetBitForBit:
+    """Compressed replicas vs forced per-step stepping: faults, slowdown
+    onsets and arrivals must split stretches exactly where per-step
+    execution would act."""
+
+    @pytest.mark.parametrize("routing", ["round_robin", "least_outstanding",
+                                         "power_of_two", "session_affinity"])
+    @pytest.mark.parametrize("faults", list(FAULT_PLANS))
+    def test_compressed_equals_per_step(self, dense_cost, routing, faults):
+        trace = _trace(n=60)
+        kwargs = dict(num_replicas=3, costs=dense_cost, max_batch=MAX_BATCH,
+                      routing=routing, fault_plan=FAULT_PLANS[faults],
+                      detail="full")
+        fast = simulate_fleet(trace, **kwargs)
+        ref = simulate_fleet(trace, _max_run_steps=1, **kwargs)
+        # FleetReport equality covers makespan, the per-request dicts,
+        # replica assignment, retries, token accounting, per-replica
+        # stats (incl. busy_time) and the routing log.
+        assert fast == ref
+        for fast_s, ref_s in zip(fast.schedulers, ref.schedulers):
+            assert _events(fast_s) == _events(ref_s)
+        assert fast.timeline.to_rows() == ref.timeline.to_rows()
+
+    def test_one_replica_fleet_matches_serving(self, dense_cost):
+        trace = _trace()
+        fleet = simulate_fleet(trace, num_replicas=1, costs=dense_cost,
+                               max_batch=MAX_BATCH)
+        serving = simulate_serving(trace, costs=dense_cost,
+                                   max_batch=MAX_BATCH)
+        assert fleet.makespan == serving.makespan
+        assert fleet.finish_times == serving.finish_times
+        assert fleet.first_token_times == serving.first_token_times
+        assert fleet.queue_delays == serving.queue_delays
+        assert fleet.total_tokens == serving.total_tokens
+
+    def test_summary_detail_keeps_fleet_numbers(self, dense_cost):
+        trace = _trace(n=60)
+        kwargs = dict(num_replicas=3, costs=dense_cost, max_batch=MAX_BATCH,
+                      fault_plan=FAULT_PLANS["crash+slowdown"])
+        full = simulate_fleet(trace, detail="full", **kwargs)
+        summary = simulate_fleet(trace, detail="summary", **kwargs)
+        assert summary == full
+        assert not any(lane.startswith("req-")
+                       for lane in summary.timeline.lanes())
