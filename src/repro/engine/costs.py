@@ -337,18 +337,51 @@ class MoEStepCost(StepCostModel):
     — so a prompt pass of ``L`` tokens is priced as a step carrying
     ``L`` tokens attending over the prompt, and a decode iteration as a
     step carrying one token per live sequence at the batch's KV lengths.
+
+    ``skew`` opts into skew-aware dispatch pricing: any object with
+    ``load_ratio(tokens)`` and ``stall_time(tokens)`` (duck-typed so the
+    engine never imports :mod:`repro.moe_placement`, e.g. a
+    :class:`~repro.moe_placement.SkewedDispatchSpec`). Both hooks depend
+    only on the step's token count, so the memoized ``(tokens, kv)``
+    pricing — and with it the vectorized :meth:`decode_run_cost` fast
+    path — survives intact. A spec whose ratio is 1.0 and stall 0.0
+    prices bit-for-bit like ``skew=None``.
     """
 
-    def __init__(self, moe_model) -> None:
+    def __init__(self, moe_model, *, skew=None) -> None:
+        if skew is not None and (
+            not callable(getattr(skew, "load_ratio", None))
+            or not callable(getattr(skew, "stall_time", None))
+        ):
+            raise TypeError(
+                "skew must expose load_ratio(tokens) and stall_time(tokens)")
         self.moe_model = moe_model
+        self.skew = skew
         self._memo: dict[tuple, float] = {}
+        self._skew_memo: dict[int, tuple[float, float]] = {}
         self._runs = _KvRunCache()
+
+    def _skew_terms(self, tokens: int) -> tuple[float, float]:
+        got = self._skew_memo.get(tokens)
+        if got is None:
+            got = self._skew_memo[tokens] = (
+                self.skew.load_ratio(tokens),
+                self.skew.stall_time(tokens),
+            )
+        return got
 
     def _step(self, tokens: int, kv: int) -> float:
         key = (tokens, kv)
         got = self._memo.get(key)
         if got is None:
-            got = self._memo[key] = self.moe_model.token_step(tokens, kv).total
+            if self.skew is None:
+                total = self.moe_model.token_step(tokens, kv).total
+            else:
+                ratio, stall = self._skew_terms(tokens)
+                total = self.moe_model.skewed_token_step(
+                    tokens, kv, load_ratio=ratio, stall_time=stall
+                ).total
+            got = self._memo[key] = total
         return got
 
     def prompt_cost(self, state: BatchState, request: _HasPromptLen) -> float:

@@ -18,6 +18,7 @@ Per token step, a DeepSpeed-MoE deployment pays, layer by layer:
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 from ..comm.hierarchical import CommGroup, hierarchical_allreduce_time
@@ -53,6 +54,7 @@ class MoEStepBreakdown:
     expert_time: float
     alltoall_time: float
     allreduce_time: float
+    stall_time: float = 0.0  # streamed-expert prefetch-miss stalls
 
     @property
     def total(self) -> float:
@@ -63,6 +65,7 @@ class MoEStepBreakdown:
             + self.expert_time
             + self.alltoall_time
             + self.allreduce_time
+            + self.stall_time
         )
 
     @property
@@ -164,10 +167,18 @@ class MoELatencyModel:
         own GPUs; the slowest processes ``c_e`` tokens)."""
         e = self.config.moe.num_experts
         ce = expert_capacity(batch, e, self.config.moe.capacity_factor)
+        return self.expert_time_at(ce)
+
+    def expert_time_at(self, expert_tokens: int) -> float:
+        """Expert FFN time when the critical-path expert processes
+        ``expert_tokens`` tokens — the uniform model passes ``c_e``,
+        skew-aware pricing the straggler rank's actual share."""
+        if expert_tokens < 1:
+            raise ValueError("expert_tokens must be >= 1")
         shape = LayerShape(
             hidden=self.config.hidden,
             heads=self.config.heads,
-            batch=ce,
+            batch=expert_tokens,
             tokens_per_seq=1,
             kv_len=1,
             dtype=DType.FP16,
@@ -175,7 +186,20 @@ class MoELatencyModel:
             ffn_mult=self.config.ffn_mult,
         )
         ops = moe_expert_ffn_ops(shape, expert_slicing=self.expert_slicing)
-        return self.kernel_model.chain_cost(ops, tokens=ce).total_time
+        return self.kernel_model.chain_cost(
+            ops, tokens=expert_tokens
+        ).total_time
+
+    def expert_fetch_time(self) -> float:
+        """PCIe time to pull one streamed expert's (sliced) parameters
+        into GPU memory — the unit a prefetch miss stalls for."""
+        pcie = self.cluster.node.pcie
+        nbytes = (
+            self.config.params_per_expert
+            * DType.FP16.itemsize
+            / self.expert_slicing
+        )
+        return pcie.latency + nbytes / pcie.bandwidth
 
     def alltoall_time(self, batch: int) -> float:
         """Two all-to-alls per MoE layer (dispatch + combine)."""
@@ -231,6 +255,57 @@ class MoELatencyModel:
             expert_time=experts,
             alltoall_time=a2a,
             allreduce_time=ar,
+        )
+
+    def skewed_token_step(
+        self,
+        batch: int,
+        kv_len: int = 228,
+        *,
+        load_ratio: float = 1.0,
+        stall_time: float = 0.0,
+    ) -> MoEStepBreakdown:
+        """Latency breakdown under a skewed gate distribution.
+
+        ``load_ratio`` is the straggler rank's token load over the mean
+        (>= 1.0, e.g. from
+        :meth:`repro.moe_placement.SkewedDispatchSpec.load_ratio`): the
+        expert-FFN critical path and the all-to-all volume both stretch
+        by it, because dispatch waits for the most-loaded rank.
+        ``stall_time`` is the expected per-MoE-layer prefetch-miss stall.
+        At ``load_ratio=1.0`` and ``stall_time=0.0`` this reproduces
+        :meth:`token_step` bit-for-bit — the uniform-placement compat
+        oracle.
+        """
+        if batch < 1:
+            raise ValueError("batch must be >= 1")
+        if load_ratio < 1.0:
+            raise ValueError("load_ratio must be >= 1.0")
+        if stall_time < 0.0:
+            raise ValueError("stall_time must be >= 0")
+        layers = self.config.layers
+        n_moe = self.config.num_moe_layers
+        n_dense_ffn = layers - n_moe
+        e = self.config.moe.num_experts
+        ce = expert_capacity(batch, e, self.config.moe.capacity_factor)
+
+        dense = (
+            n_dense_ffn * self.dense_layer_time(batch, kv_len, with_ffn=True)
+            + n_moe * self.dense_layer_time(batch, kv_len, with_ffn=False)
+        )
+        gating = n_moe * self.gating_time(batch)
+        experts = n_moe * self.expert_time_at(
+            max(1, math.ceil(ce * load_ratio))
+        )
+        a2a = n_moe * self.alltoall_time(max(1, math.ceil(batch * load_ratio)))
+        ar = layers * self.allreduce_time(batch)
+        return MoEStepBreakdown(
+            dense_time=dense,
+            gating_time=gating,
+            expert_time=experts,
+            alltoall_time=a2a,
+            allreduce_time=ar,
+            stall_time=n_moe * stall_time,
         )
 
     def token_latency(self, batch: int, kv_len: int = 228) -> float:

@@ -86,13 +86,22 @@ class Request:
 
 @dataclass(frozen=True)
 class WorkloadTrace:
-    """A reproducible request trace."""
+    """A reproducible request trace.
+
+    ``expert_skew`` annotates MoE traces with the Zipf-s gate skew the
+    workload was synthesized under (``None`` = unknown/uniform); the
+    tuners read it to decide whether skew-aware expert placement is
+    worth sweeping.
+    """
 
     requests: tuple[Request, ...]
+    expert_skew: float | None = None
 
     def __post_init__(self) -> None:
         if not self.requests:
             raise ValueError("a trace needs at least one request")
+        if self.expert_skew is not None and self.expert_skew < 0:
+            raise ValueError("expert_skew must be >= 0 when given")
         arrivals = [r.arrival for r in self.requests]
         if arrivals != sorted(arrivals):
             raise ValueError("requests must be sorted by arrival time")
@@ -119,15 +128,19 @@ def synthesize_trace(
     mean_prompt: int = 128,
     mean_gen: int = 32,
     num_sessions: int | None = None,
+    expert_skew: float | None = None,
     seed: SeedLike = 0,
 ) -> WorkloadTrace:
     """Poisson arrivals with geometric-ish prompt/generation lengths.
 
     ``num_sessions`` tags each request with a session id drawn uniformly
     from ``range(num_sessions)`` (for the fleet layer's affinity
-    routing); ``None`` leaves requests unaffiliated. ``seed`` takes an
-    int or a live :class:`numpy.random.Generator` to thread one stream
-    through a composite workflow (see :mod:`repro.rng`).
+    routing); ``None`` leaves requests unaffiliated. ``expert_skew``
+    stamps the trace with a Zipf-s gate skew (see
+    :func:`repro.moe_placement.zipf_expert_probs`) so MoE benchmarks can
+    regenerate the matching gate stream from the same seed. ``seed``
+    takes an int or a live :class:`numpy.random.Generator` to thread one
+    stream through a composite workflow (see :mod:`repro.rng`).
     """
     if num_requests < 1 or arrival_rate <= 0:
         raise ValueError("num_requests >= 1 and arrival_rate > 0 required")
@@ -135,6 +148,8 @@ def synthesize_trace(
         raise ValueError("mean lengths must be >= 1")
     if num_sessions is not None and num_sessions < 1:
         raise ValueError("num_sessions must be >= 1 when given")
+    if expert_skew is not None and expert_skew < 0:
+        raise ValueError("expert_skew must be >= 0 when given")
     rng = as_generator(seed)
     gaps = rng.exponential(1.0 / arrival_rate, size=num_requests)
     arrivals = np.cumsum(gaps)
@@ -147,7 +162,8 @@ def synthesize_trace(
             Request(i, float(arrivals[i]), int(prompts[i]), int(gens[i]),
                     session=None if sessions is None else int(sessions[i]))
             for i in range(num_requests)
-        )
+        ),
+        expert_skew=expert_skew,
     )
 
 

@@ -90,6 +90,48 @@ def _moe_parallelism_candidates(
             yield par
 
 
+#: Expert replication factors the MoE sweep tries on skewed traces.
+_REPLICATION_CANDIDATES = (1, 2, 4)
+
+
+def _skewed_moe_costs(config, model, par, *, expert_skew: float, cap: int):
+    """Yield ``(replication, costs)`` for one MoE deployment on a skewed
+    trace: replication 1 prices the uniform placement under the skew's
+    straggler ratio; higher factors replicate the hot experts
+    (:func:`~repro.moe_placement.plan_placement`) and carry a prefetch
+    hit rate calibrated against a short synthetic gate stream."""
+    from ..moe_placement import (
+        SkewedDispatchSpec,
+        calibrated_dispatch,
+        plan_placement,
+        synthesize_gate_stream,
+        uniform_placement,
+        zipf_expert_probs,
+    )
+
+    num_experts = config.moe.num_experts
+    top_k = config.moe.top_k
+    probs = zipf_expert_probs(num_experts, expert_skew, seed=0)
+    stream = synthesize_gate_stream(32, max(8, cap) * top_k, probs, seed=1)
+    for replication in _REPLICATION_CANDIDATES:
+        if replication > par.ep_degree:
+            break
+        if replication == 1:
+            spec = SkewedDispatchSpec(
+                probs=probs,
+                placement=uniform_placement(num_experts, par.ep_degree),
+                top_k=top_k,
+            )
+        else:
+            plan = plan_placement(probs, par.ep_degree,
+                                  replication=replication)
+            spec = calibrated_dispatch(
+                probs, plan, stream, top_k=top_k,
+                expert_fetch_time=model.expert_fetch_time(),
+            )
+        yield replication, MoEStepCost(model, skew=spec)
+
+
 def _serving_cost_candidates(
     config: ModelConfig,
     cluster: ClusterSpec,
@@ -97,15 +139,19 @@ def _serving_cost_candidates(
     max_gpus: int,
     representative_kv: int,
     seq: int,
+    expert_skew: float | None = None,
 ):
-    """Yield ``(tp, num_gpus, batch_cap, costs)`` serving candidates.
+    """Yield ``(tp, num_gpus, batch_cap, costs, replication)`` candidates.
 
     Dense models sweep TP with a compat-mode :class:`DenseStepCost`
     (``representative_kv`` preserves the pre-cost-model tuner numbers
     bit-for-bit); MoE models sweep the MP degree of Table II-shaped
-    deployments priced by :class:`MoEStepCost` at true KV lengths.
-    Shared by :func:`tune_serving_deployment` and
-    :func:`repro.fleet.tuning.tune_fleet_deployment`.
+    deployments priced by :class:`MoEStepCost` at true KV lengths. When
+    the trace declares an ``expert_skew``, each MoE deployment is
+    additionally swept over expert replication factors with skew-aware
+    dispatch pricing (the paper's uniform assumption is the
+    ``replication=1`` row). Shared by :func:`tune_serving_deployment`
+    and :func:`repro.fleet.tuning.tune_fleet_deployment`.
     """
     if config.moe is None:
         for tp in _tp_candidates(config, cluster, max_gpus):
@@ -114,14 +160,19 @@ def _serving_cost_candidates(
                 continue
             model = DenseLatencyModel(config, cluster, tp=tp)
             yield tp, tp, cap, DenseStepCost(
-                model, representative_kv=representative_kv)
+                model, representative_kv=representative_kv), 1
     else:
         for par in _moe_parallelism_candidates(config, cluster, max_gpus):
             cap = moe_max_batch_size(config, cluster, par, seq_len=seq)
             if cap < 1:
                 continue
             model = MoELatencyModel(config, cluster, par, optimized=True)
-            yield par.mp_degree, par.num_gpus, cap, MoEStepCost(model)
+            if expert_skew is None:
+                yield par.mp_degree, par.num_gpus, cap, MoEStepCost(model), 1
+                continue
+            for replication, costs in _skewed_moe_costs(
+                    config, model, par, expert_skew=expert_skew, cap=cap):
+                yield par.mp_degree, par.num_gpus, cap, costs, replication
 
 
 def tune_dense_deployment(
@@ -199,6 +250,7 @@ class ServingTuningResult:
     ttft_p99: float
     latency_p99: float
     num_gpus: int
+    replication: int = 1  # expert replication factor (MoE, skewed traces)
 
     @property
     def tokens_per_second_per_gpu(self) -> float:
@@ -237,9 +289,10 @@ def tune_serving_deployment(
     seq = max(r.prompt_len + r.gen_tokens for r in trace.requests)
 
     best: ServingTuningResult | None = None
-    for tp, num_gpus, cap, costs in _serving_cost_candidates(
+    for tp, num_gpus, cap, costs, replication in _serving_cost_candidates(
             config, cluster, max_gpus=max_gpus,
-            representative_kv=mean_prompt + mean_gen // 2, seq=seq):
+            representative_kv=mean_prompt + mean_gen // 2, seq=seq,
+            expert_skew=trace.expert_skew):
         for max_batch in candidate_batches(cap):
             rep = simulate_serving(trace, costs=costs, max_batch=max_batch,
                                    policy=policy)
@@ -252,6 +305,7 @@ def tune_serving_deployment(
                 ttft_p99=ttft,
                 latency_p99=rep.latency_percentile(trace, 99),
                 num_gpus=num_gpus,
+                replication=replication,
             )
             if best is None or cand.tokens_per_second > best.tokens_per_second:
                 best = cand

@@ -41,6 +41,7 @@ class FleetTuningResult:
     ttft_p99: float
     latency_p99: float
     num_gpus: int
+    replication: int = 1  # expert replication factor (MoE, skewed traces)
 
     @property
     def tokens_per_second_per_gpu(self) -> float:
@@ -84,9 +85,11 @@ def tune_fleet_deployment(
     seq = max(r.prompt_len + r.gen_tokens for r in trace.requests)
 
     best: FleetTuningResult | None = None
-    for tp, gpus_per_replica, cap, costs in _serving_cost_candidates(
-            config, cluster, max_gpus=gpu_budget,
-            representative_kv=mean_prompt + mean_gen // 2, seq=seq):
+    for tp, gpus_per_replica, cap, costs, replication in (
+            _serving_cost_candidates(
+                config, cluster, max_gpus=gpu_budget,
+                representative_kv=mean_prompt + mean_gen // 2, seq=seq,
+                expert_skew=trace.expert_skew)):
         batches = tuple(candidate_batches(cap))
         for replicas in range(1, gpu_budget // gpus_per_replica + 1):
             if fault_plan is not None and fault_plan.crashes():
@@ -110,6 +113,7 @@ def tune_fleet_deployment(
                     ttft_p99=ttft,
                     latency_p99=rep.latency_percentile(trace, 99),
                     num_gpus=replicas * gpus_per_replica,
+                    replication=replication,
                 )
                 if best is None or (
                     (cand.tokens_per_second, -cand.num_gpus)

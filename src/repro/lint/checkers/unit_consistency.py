@@ -44,16 +44,21 @@ DEFAULT_UNIT_REGISTRY: dict[str, str] = {
     "elapsed": "seconds",
     "duration": "seconds",
     "timeout": "seconds",
+    "hit_rate": "ratio",
 }
 
-# suffix -> unit; longest-match-first so ``_per_s`` beats ``_s``.
+# suffix -> unit; longest-match-first so ``_per_s`` beats ``_s`` and the
+# cache-accounting suffixes (``_misses``) beat the ``_ms`` time suffix.
 _SUFFIX_UNITS: tuple[tuple[str, str], ...] = (
-    ("_gbytes", "gigabytes"),
+    ("_hit_rate", "ratio"),
     ("_seconds", "seconds"),
+    ("_gbytes", "gigabytes"),
+    ("_misses", "count"),
     ("_tokens", "tokens"),
     ("_steps", "steps"),
     ("_flops", "flops"),
     ("_bytes", "bytes"),
+    ("_hits", "count"),
     ("_time", "seconds"),
     ("_sec", "seconds"),
     ("_gib", "gigabytes"),
@@ -128,6 +133,7 @@ class UnitConsistencyChecker(Checker):
         "repro.comm",
         "repro.zero",
         "repro.hardware",
+        "repro.moe_placement",
     )
 
     def check(self, mod: ModuleInfo) -> Iterator[Finding]:

@@ -1,0 +1,228 @@
+"""Predictive prefetch of streamed experts and the skewed dispatch spec.
+
+Experts demoted to the streamed tier (:func:`~repro.moe_placement.plan_placement`)
+live off-GPU and must be fetched over PCIe before they can run. The
+predictor names next step's likely-hot streamed experts; those are
+prefetched into spare weight buffers while the dense layers compute —
+the exact fetch/compute overlap pipeline of :mod:`repro.zero.streaming`.
+A prefetch *hit* hides (most of) the fetch; a *miss* stalls dispatch for
+one expert fetch.
+
+:func:`simulate_expert_stream` replays a gate stream against a
+predictor to measure the achievable hit rate (and the overlap residue,
+via :func:`~repro.zero.streaming.simulate_layer_stream`);
+:class:`SkewedDispatchSpec` packages the resulting pricing hooks —
+``load_ratio`` and ``stall_time`` — that
+:class:`~repro.engine.costs.MoEStepCost` consumes without importing
+this package.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..zero.streaming import simulate_layer_stream
+from .placement import ExpertPlacement, PlacementPlan
+from .predictor import GateHistoryPredictor
+
+__all__ = ["PrefetchReport", "SkewedDispatchSpec", "calibrated_dispatch",
+           "simulate_expert_stream"]
+
+# A predicted load ratio this close to 1.0 is summation noise, not skew —
+# snap it so uniform placements price bit-for-bit like the mean-load model.
+_RATIO_SNAP = 1e-9
+
+
+@dataclass(frozen=True)
+class PrefetchReport:
+    """Outcome of replaying a gate stream through the prefetcher."""
+
+    steps: int
+    prefetch_hits: int
+    prefetch_misses: int
+    stall_s: float  # dispatch time lost to synchronous miss fetches
+    overlap_residue_s: float  # hit-fetch time the pipeline failed to hide
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of streamed-expert demands covered by prefetch."""
+        demand = self.prefetch_hits + self.prefetch_misses
+        return self.prefetch_hits / demand if demand else 1.0
+
+
+def simulate_expert_stream(
+    stream: np.ndarray,
+    streamed: tuple[int, ...],
+    *,
+    predictor: GateHistoryPredictor | None = None,
+    prefetch_slots: int = 8,
+    fetch_time_per_expert: float = 0.0,
+    compute_time_per_step: float = 0.0,
+    prefetch_depth: int = 1,
+) -> PrefetchReport:
+    """Replay a ``(steps, num_experts)`` gate stream through the prefetcher.
+
+    Each step, the predictor's EMA (built from *previous* steps only)
+    ranks the streamed experts; the ``prefetch_slots`` hottest are
+    prefetched. Streamed experts the step actually routes tokens to are
+    *hits* if prefetched, *misses* otherwise. Misses stall for one
+    synchronous fetch each; hit fetches overlap with step compute via
+    :func:`~repro.zero.streaming.simulate_layer_stream`, contributing
+    only the overlap residue. Pass zero times to measure hit rate alone.
+    """
+    counts = np.asarray(stream, dtype=np.float64)
+    if counts.ndim != 2 or counts.shape[0] < 1:
+        raise ValueError("stream must be (steps, num_experts) with >= 1 step")
+    if prefetch_slots < 0:
+        raise ValueError("prefetch_slots must be >= 0")
+    if fetch_time_per_expert < 0 or compute_time_per_step < 0:
+        raise ValueError("times must be >= 0")
+    num_experts = counts.shape[1]
+    streamed_ids = np.asarray(sorted(set(int(e) for e in streamed)),
+                              dtype=np.int64)
+    if streamed_ids.size and not (
+        0 <= streamed_ids.min() and streamed_ids.max() < num_experts
+    ):
+        raise ValueError("streamed expert id out of range")
+    if predictor is None:
+        predictor = GateHistoryPredictor(num_experts)
+    elif predictor.num_experts != num_experts:
+        raise ValueError("predictor/stream num_experts mismatch")
+
+    hits = misses = 0
+    stall_s = 0.0
+    overlap_residue_s = 0.0
+    residue_memo: dict[int, float] = {}
+    for row in counts:
+        predicted = predictor.predicted_loads()[streamed_ids]
+        order = np.argsort(-predicted, kind="stable")
+        prefetched = set(streamed_ids[order[:prefetch_slots]].tolist())
+        needed = set(streamed_ids[row[streamed_ids] > 0].tolist())
+        n_hit = len(needed & prefetched)
+        n_miss = len(needed) - n_hit
+        hits += n_hit
+        misses += n_miss
+        stall_s += n_miss * fetch_time_per_expert
+        if n_hit and fetch_time_per_expert > 0 and compute_time_per_step > 0:
+            if n_hit not in residue_memo:
+                report = simulate_layer_stream(
+                    num_layers=n_hit,
+                    fetch_time_per_layer=fetch_time_per_expert,
+                    compute_time_per_layer=compute_time_per_step / n_hit,
+                    prefetch_depth=prefetch_depth,
+                )
+                residue_memo[n_hit] = report.makespan - report.compute_time
+            overlap_residue_s += residue_memo[n_hit]
+        predictor.update(row)
+    return PrefetchReport(
+        steps=counts.shape[0],
+        prefetch_hits=hits,
+        prefetch_misses=misses,
+        stall_s=stall_s,
+        overlap_residue_s=overlap_residue_s,
+    )
+
+
+@dataclass(frozen=True)
+class SkewedDispatchSpec:
+    """Everything the pricing layer needs to know about skewed dispatch.
+
+    Duck-typed contract with :class:`~repro.engine.costs.MoEStepCost`
+    (which never imports this package): ``load_ratio(tokens)`` scales
+    the expert-FFN capacity and all-to-all volume by the straggler
+    rank's share, ``stall_time(tokens)`` is the expected per-MoE-layer
+    prefetch-miss stall.
+    """
+
+    probs: np.ndarray
+    placement: ExpertPlacement
+    top_k: int = 1
+    streamed: tuple[int, ...] = ()
+    prefetch_hit_rate: float = 0.0
+    expert_fetch_time: float = 0.0
+
+    def __post_init__(self) -> None:
+        probs = np.asarray(self.probs, dtype=np.float64)
+        if probs.shape != (self.placement.num_experts,):
+            raise ValueError("probs must have one entry per expert")
+        if (probs < 0).any() or probs.sum() <= 0:
+            raise ValueError("probs must be non-negative and sum > 0")
+        object.__setattr__(self, "probs", probs / probs.sum())
+        if self.top_k < 1:
+            raise ValueError("top_k must be >= 1")
+        if not 0.0 <= self.prefetch_hit_rate <= 1.0:
+            raise ValueError("prefetch_hit_rate must be in [0, 1]")
+        if self.expert_fetch_time < 0:
+            raise ValueError("expert_fetch_time must be >= 0")
+        for ex in self.streamed:
+            if not 0 <= ex < self.placement.num_experts:
+                raise ValueError(f"streamed expert {ex} out of range")
+
+    def expert_loads(self, tokens: int) -> np.ndarray:
+        """Expected per-expert routed-token counts for one step."""
+        return self.probs * (tokens * self.top_k)
+
+    def load_ratio(self, tokens: int) -> float:
+        """Straggler factor: max per-rank load over the mean (>= 1.0).
+
+        Uniform gates on a balanced placement give exactly 1.0 — the
+        compat guarantee that keeps unskewed pricing bit-for-bit
+        identical to the mean-load model.
+        """
+        if tokens < 1:
+            return 1.0
+        ratio = self.placement.load_imbalance(self.expert_loads(tokens))
+        return 1.0 if ratio < 1.0 + _RATIO_SNAP else ratio
+
+    def expected_misses(self, tokens: int) -> float:
+        """Expected prefetch misses per MoE layer per rank.
+
+        A streamed expert is demanded when at least one of the step's
+        ``tokens * top_k`` routed slots lands on it; ranks fetch their
+        own streamed experts concurrently over independent PCIe links,
+        so the per-layer stall scales with the mean per-rank miss count.
+        """
+        if not self.streamed or tokens < 1:
+            return 0.0
+        p = self.probs[list(self.streamed)]
+        demand = 1.0 - np.power(1.0 - p, tokens * self.top_k)
+        per_rank = demand.sum() / self.placement.ep_degree
+        return float((1.0 - self.prefetch_hit_rate) * per_rank)
+
+    def stall_time(self, tokens: int) -> float:
+        """Expected per-MoE-layer dispatch stall from prefetch misses."""
+        return self.expected_misses(tokens) * self.expert_fetch_time
+
+
+def calibrated_dispatch(
+    probs: np.ndarray,
+    plan: PlacementPlan,
+    stream: np.ndarray,
+    *,
+    top_k: int = 1,
+    expert_fetch_time: float = 0.0,
+    predictor: GateHistoryPredictor | None = None,
+    prefetch_slots: int = 8,
+) -> SkewedDispatchSpec:
+    """Build a dispatch spec whose hit rate is *measured*, not assumed.
+
+    Replays ``stream`` through the predictor against the plan's streamed
+    set and bakes the achieved hit rate into the returned spec — the
+    honest number the pricing layer then applies to every step.
+    """
+    report = simulate_expert_stream(
+        stream,
+        plan.streamed,
+        predictor=predictor,
+        prefetch_slots=prefetch_slots,
+    )
+    return SkewedDispatchSpec(
+        probs=probs,
+        placement=plan.placement,
+        top_k=top_k,
+        streamed=plan.streamed,
+        prefetch_hit_rate=report.hit_rate,
+        expert_fetch_time=expert_fetch_time,
+    )

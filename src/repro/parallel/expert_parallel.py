@@ -21,15 +21,25 @@ __all__ = ["expert_partition", "ep_moe_forward", "expert_sliced_ffn"]
 
 
 def expert_partition(num_experts: int, ep_degree: int) -> list[range]:
-    """Contiguous expert ranges owned by each of ``ep_degree`` ranks."""
+    """Contiguous expert ranges owned by each of ``ep_degree`` ranks.
+
+    Uneven splits are allowed: the first ``num_experts % ep_degree``
+    ranks own one extra expert, so rank sizes differ by at most one.
+    """
     if ep_degree < 1:
         raise ValueError("ep_degree must be >= 1")
-    if num_experts % ep_degree:
+    if ep_degree > num_experts:
         raise ValueError(
-            f"{num_experts} experts do not divide over {ep_degree} ranks"
+            f"cannot spread {num_experts} experts over {ep_degree} ranks"
         )
-    per = num_experts // ep_degree
-    return [range(r * per, (r + 1) * per) for r in range(ep_degree)]
+    base, rem = divmod(num_experts, ep_degree)
+    parts: list[range] = []
+    start = 0
+    for r in range(ep_degree):
+        size = base + (1 if r < rem else 0)
+        parts.append(range(start, start + size))
+        start += size
+    return parts
 
 
 def expert_sliced_ffn(
@@ -73,8 +83,13 @@ def _ep_dispatch(
     ``token_expert[t] == -1`` marks dropped tokens. Results accumulate
     into ``out2d`` scaled by ``weights`` (supports top-k accumulation).
     """
-    per = layer.num_experts // comm.size
-    owner = np.where(token_expert >= 0, token_expert // per, -1)
+    parts = expert_partition(layer.num_experts, comm.size)
+    starts = np.array([p.start for p in parts], dtype=np.int64)
+    owner = np.where(
+        token_expert >= 0,
+        np.searchsorted(starts, token_expert, side="right") - 1,
+        -1,
+    )
 
     # Step 1+2 of Fig. 5: local split by destination rank, then all-to-all.
     send_tokens, send_experts, local_idx = [], [], []
@@ -82,7 +97,9 @@ def _ep_dispatch(
         idx = np.flatnonzero(owner == dst)
         local_idx.append(idx)
         send_tokens.append(x2d[idx])
-        send_experts.append((token_expert[idx] % per).astype(np.int64))
+        send_experts.append(
+            (token_expert[idx] - starts[dst]).astype(np.int64)
+        )
     recv_tokens = comm.alltoall(send_tokens)
     recv_experts = comm.alltoall(send_experts)
 
@@ -95,7 +112,7 @@ def _ep_dispatch(
         for local_e in np.unique(exps) if len(exps) else []:
             sel = exps == local_e
             out[sel] = layer.expert_ffn(
-                int(local_e) + per * comm.rank, toks[sel]
+                int(local_e) + int(starts[comm.rank]), toks[sel]
             )
         replies.append(out)
 
@@ -118,9 +135,9 @@ def ep_moe_forward(
     routes each token to its top-k experts (one dispatch round per
     choice rank, weighted combine).
     """
-    if layer.num_experts % comm.size:
+    if comm.size > layer.num_experts:
         raise ValueError(
-            f"{layer.num_experts} experts do not divide over {comm.size} ranks"
+            f"cannot spread {layer.num_experts} experts over {comm.size} ranks"
         )
     shape = x_local.shape
     x2d = x_local.reshape(-1, shape[-1])

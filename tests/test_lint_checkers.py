@@ -214,6 +214,43 @@ class TestUnitConsistency:
             """, module="repro.engine.fixture")
         assert len(findings) == 1
 
+    def test_prefetch_accounting_suffixes_are_counts(self):
+        # `_misses` must not fall through to the `_ms` / `_s` time
+        # suffixes; hits and misses add cleanly, and mixing either with
+        # seconds fires.
+        clean = lint_snippet(self.CH(), """
+            def f(prefetch_hits, prefetch_misses):
+                return prefetch_hits + prefetch_misses
+            """, module="repro.moe_placement.fixture")
+        assert clean == []
+        findings = lint_snippet(self.CH(), """
+            def f(prefetch_misses, stall_s):
+                return prefetch_misses + stall_s
+            """, module="repro.moe_placement.fixture")
+        assert len(findings) == 1
+        assert "count" in findings[0].message
+        assert "seconds" in findings[0].message
+
+    def test_hit_rate_is_a_ratio(self):
+        clean = lint_snippet(self.CH(), """
+            def f(cache_hit_rate, hit_rate):
+                return cache_hit_rate + hit_rate
+            """, module="repro.moe_placement.fixture")
+        assert clean == []
+        findings = lint_snippet(self.CH(), """
+            def f(cache_hit_rate, fetch_time):
+                return cache_hit_rate + fetch_time
+            """, module="repro.moe_placement.fixture")
+        assert len(findings) == 1
+        assert "ratio" in findings[0].message
+
+    def test_covers_moe_placement_package(self):
+        findings = lint_snippet(self.CH(), """
+            def f(act_bytes, stall_s):
+                return act_bytes + stall_s
+            """, module="repro.moe_placement.fixture")
+        assert len(findings) == 1
+
     def test_no_duplicate_findings_for_nested_expression(self):
         findings = lint_snippet(self.CH(), """
             def f(a_bytes, b_time, c_bytes):

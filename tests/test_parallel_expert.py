@@ -18,11 +18,27 @@ class TestExpertPartition:
     def test_single_rank(self):
         assert list(expert_partition(4, 1)[0]) == [0, 1, 2, 3]
 
+    def test_uneven_remainder_distribution(self):
+        # First E % ep ranks get one extra expert; sizes differ by <= 1.
+        parts = expert_partition(10, 4)
+        assert [list(p) for p in parts] == [
+            [0, 1, 2], [3, 4, 5], [6, 7], [8, 9]]
+
+    @pytest.mark.parametrize("num_experts,ep", [(6, 4), (7, 3), (5, 5), (9, 2)])
+    def test_uneven_covers_all_experts(self, num_experts, ep):
+        parts = expert_partition(num_experts, ep)
+        assert len(parts) == ep
+        covered = [e for p in parts for e in p]
+        assert covered == list(range(num_experts))
+        sizes = [len(p) for p in parts]
+        assert max(sizes) - min(sizes) <= 1
+        assert sorted(sizes, reverse=True) == sizes  # extras lead
+
     def test_validation(self):
         with pytest.raises(ValueError):
-            expert_partition(6, 4)
-        with pytest.raises(ValueError):
             expert_partition(4, 0)
+        with pytest.raises(ValueError):
+            expert_partition(3, 4)  # more ranks than experts
 
 
 class TestEPEquivalence:
@@ -84,8 +100,22 @@ class TestEPEquivalence:
         )
         np.testing.assert_array_equal(results[0][g.dropped], 0.0)
 
-    def test_experts_must_divide(self):
-        layer = MoELayer(hidden=8, num_experts=6, seed=1)
+    @pytest.mark.parametrize("ep", [2, 3, 4])
+    def test_uneven_expert_counts(self, ep):
+        """num_experts % ep != 0 dispatches correctly to uneven owners."""
+        layer = MoELayer(hidden=8, num_experts=7, capacity_factor=4.0, seed=3)
+        xs = [RNG.normal(size=(5, 8)) for _ in range(ep)]
+        ref = [layer.forward_dense_table(x) for x in xs]
+
+        def prog(comm):
+            return ep_moe_forward(comm, layer, xs[comm.rank])
+
+        results = spmd(ep, prog)
+        for got, want in zip(results, ref):
+            np.testing.assert_allclose(got, want, atol=1e-12)
+
+    def test_more_ranks_than_experts_rejected(self):
+        layer = MoELayer(hidden=8, num_experts=3, seed=1)
 
         def prog(comm):
             return ep_moe_forward(comm, layer, RNG.normal(size=(4, 8)))

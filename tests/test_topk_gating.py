@@ -168,6 +168,52 @@ class TestVectorizedTopK:
         np.testing.assert_array_equal(a.token_expert, b.token_expert)
         np.testing.assert_array_equal(a.token_slot, b.token_slot)
 
+    @given(
+        tokens=st.integers(min_value=1, max_value=48),
+        experts=st.sampled_from([4, 8, 16]),
+        k=st.integers(min_value=1, max_value=3),
+        skew=st.sampled_from([0.8, 1.2, 1.8]),
+        cf=st.sampled_from([0.25, 1.0, 2.0]),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_equivalence_on_skewed_gates(self, tokens, experts, k, skew,
+                                         cf, seed):
+        """Zipf-skewed logits drive heavy capacity overflow — the regime
+        where the two formulations' tie-breaking could diverge."""
+        from repro.model import topk_gating_vectorized
+        from repro.moe_placement import zipf_gate_logits
+
+        logits = zipf_gate_logits(tokens, experts, skew, seed=seed)
+        a = topk_gating(logits, min(k, experts), capacity_factor=cf)
+        b = topk_gating_vectorized(logits, min(k, experts),
+                                   capacity_factor=cf)
+        np.testing.assert_array_equal(a.token_expert, b.token_expert)
+        np.testing.assert_array_equal(a.token_slot, b.token_slot)
+        np.testing.assert_array_equal(a.gate_weight, b.gate_weight)
+        assert a.capacity == b.capacity
+
+    @pytest.mark.parametrize("tokens,experts,k,cf", [
+        (32, 4, 1, 0.25),   # hard overflow: capacity 2 of 32 demands
+        (16, 8, 2, 0.125),  # capacity 1 everywhere
+        (24, 4, 3, 1.0),
+    ])
+    def test_equivalence_all_tokens_one_expert(self, tokens, experts, k, cf):
+        """Degenerate gate: every token's top choice is the same expert,
+        so nearly everything overflows into drops or secondary choices."""
+        from repro.model import topk_gating_vectorized
+
+        logits = np.random.default_rng(3).normal(size=(tokens, experts))
+        logits[:, 0] += 50.0  # expert 0 dominates every token
+        a = topk_gating(logits, k, capacity_factor=cf)
+        b = topk_gating_vectorized(logits, k, capacity_factor=cf)
+        np.testing.assert_array_equal(a.token_expert, b.token_expert)
+        np.testing.assert_array_equal(a.token_slot, b.token_slot)
+        np.testing.assert_array_equal(a.gate_weight, b.gate_weight)
+        # The degenerate regime really overflowed: expert 0 saturated.
+        kept0 = (a.token_expert == 0) & a.kept_pairs()
+        assert kept0.sum() == a.capacity
+
     def test_vectorized_is_faster_at_scale(self):
         """The point of vectorizing (guide: avoid Python loops)."""
         import time
