@@ -1,0 +1,36 @@
+"""Closed-loop fleet autoscaling and SLO remediation.
+
+A control plane over :mod:`repro.fleet`: a detect → propose → verify →
+schedule pipeline that watches live fleet signals (queue depth, rolling
+P99 TTFT, outstanding-work EMA, replica health) and acts mid-trace —
+scaling replicas out and in under a GPU budget, draining and replacing
+crashed or throttled replicas, and shifting routing weights toward
+healthy capacity.
+
+Entry point: pass an :class:`AutoscaleConfig` (or a pre-built
+:class:`Autoscaler`) as ``simulate_fleet(..., autoscaler=...)``; read
+the outcome off the fleet report's ``autoscale_log`` and ``telemetry``.
+:func:`tune_autoscaler` sweeps the knobs offline.
+"""
+
+from .actions import ACTION_KINDS, AutoscaleEvent, ScaleAction
+from .controller import AutoscaleConfig, Autoscaler, resolve_autoscaler
+from .policy import ScalePolicy
+from .signals import FleetSignals, ReplicaSnapshot, SignalCollector
+from .tuning import AutoscaleCandidate, AutoscaleTuningResult, tune_autoscaler
+
+__all__ = [
+    "ACTION_KINDS",
+    "AutoscaleEvent",
+    "ScaleAction",
+    "AutoscaleConfig",
+    "Autoscaler",
+    "resolve_autoscaler",
+    "ScalePolicy",
+    "FleetSignals",
+    "ReplicaSnapshot",
+    "SignalCollector",
+    "AutoscaleCandidate",
+    "AutoscaleTuningResult",
+    "tune_autoscaler",
+]

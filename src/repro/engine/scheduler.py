@@ -165,6 +165,27 @@ class Scheduler:
         """Slots available for admission."""
         return self.max_slots - len(self._active)
 
+    @property
+    def queue_depth(self) -> int:
+        """Requests waiting for a slot (alias of :attr:`num_waiting`
+        under the autoscaler's signal vocabulary)."""
+        return len(self._queue)
+
+    @property
+    def waiting_tokens(self) -> int:
+        """Token work (prompt + requested generation) still queued.
+
+        The autoscaler's outstanding-work signal: unlike
+        :attr:`queue_depth` it weighs a queued 2k-token prompt heavier
+        than a queued 8-token probe."""
+        return sum(r.prompt_len + r.max_new_tokens for r in self._queue)
+
+    def oldest_waiting_arrival(self) -> float | None:
+        """Arrival time of the head-of-queue request, or ``None`` when
+        the queue is empty. ``now - oldest_waiting_arrival()`` bounds the
+        queueing delay the next admission will record."""
+        return self._queue[0].arrival if self._queue else None
+
     def generated(self, request_id: int) -> int:
         """Tokens recorded for a request so far."""
         return self._generated.get(request_id, 0)

@@ -121,6 +121,37 @@ class WorkloadTrace:
         return sum(r.gen_tokens for r in self.requests)
 
 
+# Candidate arrivals per thinning round. Fixed (never adaptive) so the
+# accept/reject stream — and therefore the trace — is a pure function of
+# the seed, independent of how many rounds the target count takes.
+_THINNING_CHUNK = 4096
+
+
+def _thinned_arrivals(
+    rng: np.random.Generator,
+    num_requests: int,
+    rate_of: Callable[[np.ndarray], np.ndarray],
+    rate_max: float,
+) -> np.ndarray:
+    """First ``num_requests`` arrivals of the inhomogeneous Poisson
+    process with intensity ``rate_of(t) <= rate_max``, by chunked
+    vectorized thinning (Lewis-Shedler): candidates arrive at the
+    homogeneous ``rate_max`` and survive with probability
+    ``rate_of(t) / rate_max``."""
+    kept: list[np.ndarray] = []
+    total = 0
+    t = 0.0
+    while total < num_requests:
+        gaps = rng.exponential(1.0 / rate_max, size=_THINNING_CHUNK)
+        cand = t + np.cumsum(gaps)
+        t = float(cand[-1])
+        u = rng.random(size=_THINNING_CHUNK)
+        keep = cand[u * rate_max < rate_of(cand)]
+        kept.append(keep)
+        total += len(keep)
+    return np.concatenate(kept)[:num_requests]
+
+
 def synthesize_trace(
     *,
     num_requests: int,
@@ -129,14 +160,37 @@ def synthesize_trace(
     mean_gen: int = 32,
     num_sessions: int | None = None,
     expert_skew: float | None = None,
+    arrival_shape: str = "poisson",
+    diurnal_amplitude: float = 0.8,
+    diurnal_period: float | None = None,
+    burst_factor: float = 8.0,
+    num_bursts: int = 2,
     seed: SeedLike = 0,
 ) -> WorkloadTrace:
-    """Poisson arrivals with geometric-ish prompt/generation lengths.
+    """Synthesize a request trace with Poisson-ish lengths and a chosen
+    arrival process.
 
-    ``num_sessions`` tags each request with a session id drawn uniformly
-    from ``range(num_sessions)`` (for the fleet layer's affinity
-    routing); ``None`` leaves requests unaffiliated. ``expert_skew``
-    stamps the trace with a Zipf-s gate skew (see
+    ``arrival_shape`` selects the arrival process:
+
+    * ``"poisson"`` (default) — homogeneous Poisson at ``arrival_rate``;
+      the historical behavior, bit-for-bit (same seed, same trace).
+    * ``"diurnal"`` — inhomogeneous Poisson with a sinusoidal intensity
+      ``arrival_rate * (1 + diurnal_amplitude * sin(2*pi*t / period))``:
+      a day/night load cycle. The *mean* rate stays ``arrival_rate``
+      (the sine averages out), so fixed-vs-autoscaled comparisons at
+      equal average cost are fair. ``diurnal_period`` defaults to half
+      the nominal trace span (two full cycles per trace).
+    * ``"flash_crowd"`` — ``arrival_rate`` baseline with ``num_bursts``
+      evenly spaced windows at ``burst_factor`` times the base rate
+      (each 4% of the nominal span wide): a link-from-the-frontpage
+      spike.
+
+    The non-homogeneous shapes draw arrivals by chunked vectorized
+    thinning with a fixed chunk size, so every shape is a pure function
+    of the seed. ``num_sessions`` tags each request with a session id
+    drawn uniformly from ``range(num_sessions)`` (for the fleet layer's
+    affinity routing); ``None`` leaves requests unaffiliated.
+    ``expert_skew`` stamps the trace with a Zipf-s gate skew (see
     :func:`repro.moe_placement.zipf_expert_probs`) so MoE benchmarks can
     regenerate the matching gate stream from the same seed. ``seed``
     takes an int or a live :class:`numpy.random.Generator` to thread one
@@ -150,9 +204,48 @@ def synthesize_trace(
         raise ValueError("num_sessions must be >= 1 when given")
     if expert_skew is not None and expert_skew < 0:
         raise ValueError("expert_skew must be >= 0 when given")
+    shapes = ("poisson", "diurnal", "flash_crowd")
+    if arrival_shape not in shapes:
+        raise ValueError(
+            f"unknown arrival_shape {arrival_shape!r}; choose from {shapes}")
     rng = as_generator(seed)
-    gaps = rng.exponential(1.0 / arrival_rate, size=num_requests)
-    arrivals = np.cumsum(gaps)
+    nominal_span = num_requests / arrival_rate
+    if arrival_shape == "poisson":
+        # Historical draw order, preserved verbatim: existing seeds must
+        # keep producing the same traces.
+        gaps = rng.exponential(1.0 / arrival_rate, size=num_requests)
+        arrivals = np.cumsum(gaps)
+    elif arrival_shape == "diurnal":
+        if not 0.0 <= diurnal_amplitude <= 1.0:
+            raise ValueError("diurnal_amplitude must be in [0, 1]")
+        period = (nominal_span / 2.0 if diurnal_period is None
+                  else diurnal_period)
+        if period <= 0:
+            raise ValueError("diurnal_period must be > 0 when given")
+        omega = 2.0 * np.pi / period
+
+        def rate_of(t: np.ndarray) -> np.ndarray:
+            return arrival_rate * (1.0 + diurnal_amplitude * np.sin(omega * t))
+
+        arrivals = _thinned_arrivals(
+            rng, num_requests, rate_of,
+            arrival_rate * (1.0 + diurnal_amplitude))
+    else:  # flash_crowd
+        if burst_factor <= 1.0:
+            raise ValueError("burst_factor must be > 1")
+        if num_bursts < 1:
+            raise ValueError("num_bursts must be >= 1")
+        centers = np.array([(j + 0.5) / num_bursts * nominal_span
+                            for j in range(num_bursts)])
+        half_width = 0.02 * nominal_span
+
+        def rate_of(t: np.ndarray) -> np.ndarray:
+            in_burst = (np.abs(t[:, None] - centers[None, :])
+                        <= half_width).any(axis=1)
+            return arrival_rate * np.where(in_burst, burst_factor, 1.0)
+
+        arrivals = _thinned_arrivals(
+            rng, num_requests, rate_of, arrival_rate * burst_factor)
     prompts = np.maximum(1, rng.poisson(mean_prompt, size=num_requests))
     gens = np.maximum(1, rng.poisson(mean_gen, size=num_requests))
     sessions = (None if num_sessions is None

@@ -1,11 +1,11 @@
-"""Fault injection: replica crashes and slowdowns at trace time.
+"""Fault injection: replica crashes, recoveries and slowdowns at trace time.
 
 A fleet earns its keep when replicas fail. :class:`FaultPlan` scripts
 deterministic faults against simulated time so a test (or a tuning run)
 can ask: does the router requeue in-flight work, do survivors absorb the
 load, how far does the tail degrade?
 
-Two fault kinds:
+Three fault kinds:
 
 * ``crash`` — from time ``t`` the router stops sending work; the
   replica finishes the scheduling round it already started (work in
@@ -13,10 +13,16 @@ Two fault kinds:
   and in-flight request requeues to the survivors *from scratch* —
   tokens the dead replica generated are discarded, never stitched into
   another replica's output;
+* ``recover`` — a previously crashed replica rejoins at time ``t``
+  with a *fresh* scheduler (the machine rebooted: nothing of the old
+  incarnation's state survives) and becomes routable again. Crash and
+  recover events for one replica must alternate in time, starting with
+  a crash;
 * ``slowdown`` — from time ``t`` the replica's prompt and decode costs
   multiply by ``factor`` (a thermally throttled or noisy-neighbor
   node). Decisions are unaffected; pricing — and therefore load-aware
-  routing — shifts.
+  routing — shifts. A slowdown survives crash/recover cycles (the
+  throttled part is the node, not the process).
 """
 
 from __future__ import annotations
@@ -26,17 +32,18 @@ from dataclasses import dataclass
 
 __all__ = ["ReplicaFault", "FaultPlan"]
 
-_KINDS = ("crash", "slowdown")
+_KINDS = ("crash", "recover", "slowdown")
 
 
 @dataclass(frozen=True)
 class ReplicaFault:
-    """One scripted fault: ``replica`` fails/slows at trace time ``time``."""
+    """One scripted fault: ``replica`` fails/recovers/slows at trace
+    time ``time``."""
 
     replica: int
     time: float
     kind: str = "crash"
-    factor: float = 1.0  # slowdown multiplier; ignored for crashes
+    factor: float = 1.0  # slowdown multiplier; ignored for crash/recover
 
     def __post_init__(self) -> None:
         if self.replica < 0:
@@ -56,32 +63,86 @@ class FaultPlan:
     faults: tuple[ReplicaFault, ...] = ()
 
     def __post_init__(self) -> None:
-        for kind in _KINDS:
-            seen: set[int] = set()
-            for f in self.faults:
-                if f.kind != kind:
-                    continue
-                if f.replica in seen:
+        seen_slow: set[int] = set()
+        by_replica: dict[int, list[ReplicaFault]] = {}
+        for f in self.faults:
+            if f.kind == "slowdown":
+                if f.replica in seen_slow:
                     raise ValueError(
-                        f"replica {f.replica} has more than one {kind}"
+                        f"replica {f.replica} has more than one slowdown"
                     )
-                seen.add(f.replica)
+                seen_slow.add(f.replica)
+            else:
+                by_replica.setdefault(f.replica, []).append(f)
+        # Crash/recover events per replica must alternate in time order,
+        # starting with a crash (a machine can neither die twice in a
+        # row nor rejoin without having died).
+        for replica, events in by_replica.items():
+            events.sort(key=lambda f: f.time)
+            crashed = False
+            for f in events:
+                if f.kind == "crash":
+                    if crashed:
+                        raise ValueError(
+                            f"replica {replica} has more than one crash "
+                            f"without an intervening recover"
+                        )
+                    crashed = True
+                else:  # recover
+                    if not crashed:
+                        raise ValueError(
+                            f"replica {replica} recovers at t={f.time} "
+                            f"without a preceding crash"
+                        )
+                    crashed = False
 
     def validate_against(self, num_replicas: int) -> None:
         """Reject faults naming replicas outside the pool, and plans
-        that crash every replica (no survivor could finish the trace)."""
+        that at some instant leave every replica crashed (no survivor
+        could make progress). Recoveries count: a plan may crash every
+        replica over its lifetime as long as the crashes are staggered
+        so at least one replica is always up."""
         for f in self.faults:
             if f.replica >= num_replicas:
                 raise ValueError(
                     f"fault targets replica {f.replica} but the fleet "
                     f"only has {num_replicas}"
                 )
-        if num_replicas and len(self.crashes()) >= num_replicas:
-            raise ValueError("a FaultPlan may not crash every replica")
+        if not num_replicas:
+            return
+        # Sweep the crash/recover timeline; at equal times recoveries
+        # apply first (the rejoining replica can absorb the victims of a
+        # simultaneous crash).
+        events = sorted(
+            ((f.time, 0 if f.kind == "recover" else 1, f.kind)
+             for f in self.faults if f.kind in ("crash", "recover")),
+        )
+        down = 0
+        for time, _, kind in events:
+            down += 1 if kind == "crash" else -1
+            if down >= num_replicas:
+                raise ValueError(
+                    f"a FaultPlan may not crash every replica: all "
+                    f"{num_replicas} are down at t={time}"
+                )
 
     def crashes(self) -> dict[int, float]:
-        """Crash time per replica, for the replicas that crash."""
-        return {f.replica: f.time for f in self.faults if f.kind == "crash"}
+        """First crash time per replica, for the replicas that crash."""
+        out: dict[int, float] = {}
+        for f in sorted(self.faults, key=lambda f: f.time):
+            if f.kind == "crash" and f.replica not in out:
+                out[f.replica] = f.time
+        return out
+
+    def crash_events(self) -> list[tuple[float, int]]:
+        """Every crash as ``(time, replica)``, time-ordered."""
+        return sorted((f.time, f.replica) for f in self.faults
+                      if f.kind == "crash")
+
+    def recover_events(self) -> list[tuple[float, int]]:
+        """Every recovery as ``(time, replica)``, time-ordered."""
+        return sorted((f.time, f.replica) for f in self.faults
+                      if f.kind == "recover")
 
     def slowdowns(self) -> dict[int, tuple[float, float]]:
         """``replica -> (from_time, factor)`` for the slowed replicas."""

@@ -43,7 +43,14 @@ __all__ = [
 
 
 class FleetView(Protocol):
-    """What a policy may observe: pool size, liveness, outstanding work."""
+    """What a policy may observe: pool size, liveness, outstanding work.
+
+    Views may optionally expose ``weight(replica) -> float`` (autoscale
+    reweighting) and ``is_routable(replica) -> bool`` (liveness minus
+    draining); policies read them through :func:`_weight_of` /
+    :func:`_routable_of`, which default to 1.0 / ``is_alive`` so plain
+    views keep working unchanged.
+    """
 
     @property
     def num_replicas(self) -> int: ...
@@ -53,6 +60,19 @@ class FleetView(Protocol):
     def alive_replicas(self) -> Sequence[int]: ...
 
     def outstanding(self, replica: int) -> float: ...
+
+
+def _weight_of(view: FleetView, replica: int) -> float:
+    """A replica's routing weight; 1.0 on views without weights."""
+    weight = getattr(view, "weight", None)
+    return weight(replica) if weight is not None else 1.0
+
+
+def _routable_of(view: FleetView, replica: int) -> bool:
+    """Whether new work may go to ``replica``; liveness on plain views."""
+    routable = getattr(view, "is_routable", None)
+    return routable(replica) if routable is not None \
+        else view.is_alive(replica)
 
 
 class RoutingPolicy:
@@ -76,14 +96,18 @@ class RoundRobin(RoutingPolicy):
         for _ in range(view.num_replicas):
             cand = self._next % view.num_replicas
             self._next = cand + 1
-            if view.is_alive(cand):
+            if _routable_of(view, cand):
                 return cand
         raise RuntimeError("no live replica to route to")
 
 
 class LeastOutstanding(RoutingPolicy):
-    """Join the replica with the least outstanding token work (ties go
-    to the lowest index, so routing is deterministic)."""
+    """Join the replica with the least *weighted* outstanding token work
+    (outstanding divided by routing weight — a half-weighted replica
+    looks twice as loaded; ties go to the lowest index, so routing is
+    deterministic). On views without weights every weight is 1.0 and
+    ``x / 1.0 == x`` exactly, so plain fleets route bit-for-bit as
+    before."""
 
     name = "least_outstanding"
 
@@ -91,7 +115,9 @@ class LeastOutstanding(RoutingPolicy):
         alive = view.alive_replicas()
         if not alive:
             raise RuntimeError("no live replica to route to")
-        return min(alive, key=lambda i: (view.outstanding(i), i))
+        return min(alive,
+                   key=lambda i: (view.outstanding(i) / _weight_of(view, i),
+                                  i))
 
 
 class PowerOfTwoChoices(RoutingPolicy):
@@ -114,7 +140,9 @@ class PowerOfTwoChoices(RoutingPolicy):
             return alive[0]
         a, b = self._rng.choice(len(alive), size=2, replace=False)
         a, b = alive[int(a)], alive[int(b)]
-        return min((a, b), key=lambda i: (view.outstanding(i), i))
+        return min((a, b),
+                   key=lambda i: (view.outstanding(i) / _weight_of(view, i),
+                                  i))
 
 
 class SessionAffinity(RoutingPolicy):
@@ -136,7 +164,7 @@ class SessionAffinity(RoutingPolicy):
         if request.session is None:
             return self.fallback.choose(request, view)
         pinned = self._pins.get(request.session)
-        if pinned is not None and view.is_alive(pinned):
+        if pinned is not None and _routable_of(view, pinned):
             return pinned
         target = self.fallback.choose(request, view)
         self._pins[request.session] = target

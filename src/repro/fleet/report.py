@@ -12,6 +12,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..autoscale.actions import AutoscaleEvent
+from ..autoscale.signals import FleetSignals
 from ..engine.report_stats import ReportStats
 from ..engine.scheduler import Scheduler
 from ..engine.serving_sim import WorkloadTrace
@@ -23,7 +25,14 @@ __all__ = ["ReplicaStats", "FleetReport"]
 
 @dataclass(frozen=True)
 class ReplicaStats:
-    """One replica's share of the run."""
+    """One replica's share of the run.
+
+    ``join_time``/``retire_time`` bound the replica's life inside the
+    run: the initial pool joins at 0.0 and a replica that served to the
+    end has ``retire_time=None``; autoscaled replicas may join late
+    (after their cold start) or retire early (drained by a scale-in or
+    a drain-and-replace, flagged by ``draining``).
+    """
 
     replica: int
     alive: bool
@@ -31,6 +40,9 @@ class ReplicaStats:
     tokens: int             # tokens of those completed requests
     tokens_discarded: int   # generated, then thrown away by a crash
     busy_time: float        # server-lane busy time (prefill + decode)
+    join_time: float = 0.0
+    retire_time: float | None = None
+    draining: bool = False
 
 
 @dataclass(frozen=True)
@@ -59,6 +71,12 @@ class FleetReport(ReportStats):
     crash_steps: dict[int, int] = field(default_factory=dict, compare=False)
     schedulers: tuple[Scheduler, ...] = field(default=(), compare=False)
     timeline: Timeline | None = field(default=None, compare=False)
+    autoscale_log: tuple[AutoscaleEvent, ...] = ()
+    telemetry: tuple[FleetSignals, ...] = field(default=(), compare=False)
+    replica_lifetimes: dict[int, tuple[tuple[float, float], ...]] = field(
+        default_factory=dict)
+    past_schedulers: dict[int, tuple[tuple[Scheduler, int | None], ...]] = \
+        field(default_factory=dict, compare=False)
 
     # -- fleet aggregates -------------------------------------------------
 
@@ -74,8 +92,27 @@ class FleetReport(ReportStats):
 
     @property
     def num_replicas(self) -> int:
-        """Size of the replica pool."""
+        """Size of the replica pool (every replica that ever existed,
+        including autoscaled joins and retirements)."""
         return len(self.replica_stats)
+
+    @property
+    def replica_seconds(self) -> float:
+        """GPU cost of the run: total replica-up time summed over every
+        lifetime segment (a replica down between crash and recover, or
+        after retirement, accrues nothing)."""
+        return sum(end - start
+                   for segments in self.replica_lifetimes.values()
+                   for start, end in segments)
+
+    @property
+    def avg_replicas(self) -> float:
+        """Time-averaged replica count over the run — the number a
+        fixed-size fleet must match for an equal-GPU-cost comparison.
+        Falls back to the pool size when lifetimes were not recorded."""
+        if not self.replica_lifetimes or self.makespan <= 0:
+            return float(self.num_replicas)
+        return self.replica_seconds / self.makespan
 
     def per_replica_ttft_percentile(self, trace: WorkloadTrace, q: float,
                                     replica: int) -> float:

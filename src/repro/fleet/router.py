@@ -35,7 +35,15 @@ class RoutingDecision:
 
 
 class Router:
-    """Policy-driven placement with liveness and load accounting."""
+    """Policy-driven placement with liveness and load accounting.
+
+    The pool is mutable: the autoscaler adds replicas
+    (:meth:`add_replica`), drains them out of rotation
+    (:meth:`mark_draining`), returns recovered ones
+    (:meth:`mark_recovered`), and biases load-aware policies with
+    per-replica weights (:meth:`set_weight`). A router that never sees
+    those calls behaves exactly as the static pool always has.
+    """
 
     def __init__(self, num_replicas: int,
                  policy: str | RoutingPolicy = "round_robin") -> None:
@@ -43,6 +51,8 @@ class Router:
             raise ValueError("num_replicas must be >= 1")
         self.policy = resolve_routing_policy(policy)
         self._alive = [True] * num_replicas
+        self._draining = [False] * num_replicas
+        self._weights = [1.0] * num_replicas
         self._outstanding = [0.0] * num_replicas
         self.decisions: list[RoutingDecision] = []
 
@@ -50,33 +60,44 @@ class Router:
 
     @property
     def num_replicas(self) -> int:
-        """Size of the replica pool (dead ones included)."""
+        """Size of the replica pool (dead and draining ones included)."""
         return len(self._alive)
 
     def is_alive(self, replica: int) -> bool:
         """Liveness of one replica."""
         return self._alive[replica]
 
+    def is_routable(self, replica: int) -> bool:
+        """Whether new work may be placed on ``replica`` (alive and not
+        draining)."""
+        return self._alive[replica] and not self._draining[replica]
+
     def alive_replicas(self) -> list[int]:
-        """Indices of live replicas, ascending."""
-        return [i for i, up in enumerate(self._alive) if up]
+        """Indices of routable replicas, ascending (a draining replica
+        is alive but no longer a placement candidate)."""
+        return [i for i in range(len(self._alive)) if self.is_routable(i)]
 
     def outstanding(self, replica: int) -> float:
         """Token work assigned to ``replica`` and not yet completed."""
         return self._outstanding[replica]
+
+    def weight(self, replica: int) -> float:
+        """Routing weight of one replica (1.0 = full share)."""
+        return self._weights[replica]
 
     # -- placement -------------------------------------------------------
 
     def route(self, request: Request, time: float, *,
               retry: bool = False) -> int:
         """Place one request; returns the chosen replica index."""
-        if not any(self._alive):
+        if not any(map(self.is_routable, range(len(self._alive)))):
             raise RuntimeError(
                 "every replica has failed; the fleet cannot serve "
                 f"request {request.request_id}"
             )
         replica = self.policy.choose(request, self)
-        if not (0 <= replica < len(self._alive)) or not self._alive[replica]:
+        if not (0 <= replica < len(self._alive)) \
+                or not self.is_routable(replica):
             raise RuntimeError(
                 f"policy {self.policy.name!r} chose unusable replica "
                 f"{replica}"
@@ -96,6 +117,37 @@ class Router:
         (the sim re-routes the victims, which re-adds their work)."""
         self._alive[replica] = False
         self._outstanding[replica] = 0.0
+
+    # -- autoscale mutations ----------------------------------------------
+
+    def add_replica(self) -> int:
+        """Grow the pool by one routable replica; returns its index."""
+        self._alive.append(True)
+        self._draining.append(False)
+        self._weights.append(1.0)
+        self._outstanding.append(0.0)
+        return len(self._alive) - 1
+
+    def mark_draining(self, replica: int) -> None:
+        """Stop placing new work on ``replica``; already-assigned work
+        keeps running to completion (the graceful half of scale-in and
+        drain-and-replace)."""
+        self._draining[replica] = True
+
+    def mark_recovered(self, replica: int) -> None:
+        """Return a crashed replica to rotation with a clean load
+        register and full weight."""
+        self._alive[replica] = True
+        self._draining[replica] = False
+        self._weights[replica] = 1.0
+        self._outstanding[replica] = 0.0
+
+    def set_weight(self, replica: int, weight: float) -> None:
+        """Bias load-aware policies for/against ``replica`` (e.g. 0.5
+        halves its share while a slowdown is remediated)."""
+        if weight <= 0:
+            raise ValueError("weight must be > 0")
+        self._weights[replica] = weight
 
     # -- reporting -------------------------------------------------------
 

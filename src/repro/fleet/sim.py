@@ -36,11 +36,14 @@ from __future__ import annotations
 import heapq
 import math
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable
 
 import numpy as np
 
+from ..autoscale.actions import AutoscaleEvent
+from ..autoscale.controller import Autoscaler, AutoscaleConfig, resolve_autoscaler
+from ..autoscale.signals import FleetSignals, ReplicaSnapshot
 from ..engine.costs import BatchState, StepCostModel, resolve_step_costs
 from ..engine.generation import GenerationSession
 from ..engine.scheduler import SchedRequest, Scheduler
@@ -67,13 +70,21 @@ class _Replica:
     actions so the fleet event loop can interleave replicas."""
 
     def __init__(self, index: int, *, max_batch: int, policy: str,
-                 costs: StepCostModel, full: bool = True) -> None:
+                 costs: StepCostModel, full: bool = True,
+                 join_time: float = 0.0,
+                 ttft_sink: list[tuple[float, float]] | None = None) -> None:
         self.index = index
+        self.max_batch = max_batch
+        self.policy = policy
         self.sched = Scheduler(max_batch, policy=policy)
         self.costs = costs
         self.full = full  # full timelines vs summary (aggregated) spans
-        self.now = 0.0
+        self.now = join_time
         self.alive = True
+        self.draining = False   # unroutable; finishes assigned work
+        self.retired = False    # drained dry: gone for good
+        self.join_time = join_time
+        self.retire_time: float | None = None
         self.slow_from = _INF
         self.slow_factor = 1.0
         self.crash_step: int | None = None
@@ -88,7 +99,18 @@ class _Replica:
         self.first: dict[int, float] = {}
         self.finish: dict[int, float] = {}
         self.tokens = 0  # every token generated here, kept or discarded
+        self.discarded = 0  # of those, thrown away by crashes so far
         self.timeline = Timeline()
+        # Closed up-time segments + the currently-open segment start;
+        # crash/retire close a segment, recover opens the next.
+        self.segments: list[tuple[float, float]] = []
+        self.seg_open: float | None = join_time
+        # Past incarnations: (scheduler, crash step) per crash that was
+        # followed by a recovery; the functional replay re-runs each.
+        self.past: list[tuple[Scheduler, int | None]] = []
+        # When set, the fleet's autoscaler collects (time, ttft) samples
+        # here; None keeps the non-autoscaled path allocation-free.
+        self.ttft_sink = ttft_sink
 
     # -- delivery --------------------------------------------------------
 
@@ -111,7 +133,7 @@ class _Replica:
 
     def next_action_time(self) -> float:
         """Start time of this replica's next atomic action (inf if idle)."""
-        if not self.alive:
+        if not self.alive or self.retired:
             return _INF
         if self.sched.num_active or self.sched.num_waiting:
             return self.now
@@ -157,6 +179,12 @@ class _Replica:
             self.admit_start[s.request_id] = start
             self.admit_at[s.request_id] = self.now
             self.first[s.request_id] = self.now  # prompt pass yields token 1
+            if self.ttft_sink is not None:
+                # TTFT from the *original* arrival (a retried request's
+                # clock ran through the crash), matching the report.
+                self.ttft_sink.append(
+                    (self.now,
+                     self.now - self.by_id[s.request_id].arrival))
             self.tokens += 1
             if self.sched.record_token(s.request_id) is not None:
                 self.finish[s.request_id] = self.now
@@ -241,6 +269,9 @@ class _Replica:
         self.alive = False
         self.crash_step = self.sched.step
         t_requeue = max(self.now, t_fault)
+        if self.seg_open is not None:
+            self.segments.append((self.seg_open, t_requeue))
+            self.seg_open = None
         victims: list[tuple[float, Request]] = []
         for rid in self.sched.active:          # in flight: output discarded
             victims.append((t_requeue, self.by_id[rid]))
@@ -252,6 +283,42 @@ class _Replica:
         self.timeline.record_instant("server", t_requeue,
                                      f"crash ({len(victims)} requeued)")
         return victims
+
+    def recover(self, t: float) -> None:
+        """Reboot a crashed replica at time ``t``: a *fresh* scheduler
+        (nothing of the dead incarnation's state survives the machine),
+        empty batch, routable again. The old scheduler and its crash
+        step are archived for the functional replay; completion records
+        survive because those requests really did finish here."""
+        if self.alive:
+            raise RuntimeError(
+                f"replica {self.index} is alive; only a crashed replica "
+                f"can recover")
+        self.past.append((self.sched, self.crash_step))
+        self.sched = Scheduler(self.max_batch, policy=self.policy)
+        self._live_kv.clear()
+        self.alive = True
+        self.crash_step = None
+        self._mid_round = False
+        self.now = max(self.now, t)
+        self.seg_open = self.now
+        self.timeline.record_instant("server", self.now, "recover")
+
+    def maybe_retire(self, t: float) -> bool:
+        """Retire a draining replica the moment it runs dry (no active,
+        queued, or undelivered work). Returns whether it retired now."""
+        if (self.draining and self.alive and not self.retired
+                and not self.sched.num_active and not self.sched.num_waiting
+                and not self.inbox):
+            self.retired = True
+            self.retire_time = max(self.now, t)
+            if self.seg_open is not None:
+                self.segments.append((self.seg_open, self.retire_time))
+                self.seg_open = None
+            self.timeline.record_instant("server", self.retire_time,
+                                         "retired")
+            return True
+        return False
 
     # -- reporting -------------------------------------------------------
 
@@ -267,7 +334,17 @@ class _Replica:
             tokens=self.completed_tokens(),
             tokens_discarded=self.tokens - self.completed_tokens(),
             busy_time=self.timeline.busy_time("server"),
+            join_time=self.join_time,
+            retire_time=self.retire_time,
+            draining=self.draining,
         )
+
+    def lifetime(self, makespan: float) -> tuple[tuple[float, float], ...]:
+        """Up-time segments, the open one closed at ``makespan``."""
+        segments = list(self.segments)
+        if self.seg_open is not None:
+            segments.append((self.seg_open, max(self.seg_open, makespan)))
+        return tuple(segments)
 
 
 def simulate_fleet(
@@ -281,6 +358,7 @@ def simulate_fleet(
     policy: str = "fcfs",
     routing: str | RoutingPolicy = "round_robin",
     fault_plan: FaultPlan | None = None,
+    autoscaler: Autoscaler | AutoscaleConfig | None = None,
     detail: str = "auto",
     _max_run_steps: int | None = None,
 ) -> FleetReport:
@@ -292,20 +370,31 @@ def simulate_fleet(
     :func:`~repro.engine.serving_sim.simulate_serving` would one server;
     ``routing`` names a :data:`~repro.fleet.policies.ROUTING_POLICIES`
     entry or is a policy instance; ``fault_plan`` scripts
-    crashes/slowdowns. Requests on a crashed replica requeue to the
-    survivors and restart from scratch; the run fails only if every
-    replica crashes (which :meth:`FaultPlan.validate_against` rejects up
-    front).
+    crashes/recoveries/slowdowns. Requests on a crashed replica requeue
+    to the survivors and restart from scratch; the run fails only if
+    every replica is simultaneously dead (which
+    :meth:`FaultPlan.validate_against` rejects up front).
+
+    ``autoscaler`` — an :class:`~repro.autoscale.controller
+    .AutoscaleConfig` or pre-built :class:`~repro.autoscale.controller
+    .Autoscaler` — closes the loop: every ``epoch_s`` of simulated time
+    the controller reads replica snapshots and fresh TTFT samples and
+    its admitted actions apply as first-class events (scale-out replicas
+    join after a cold start priced by the cost model's own prompt pass;
+    scale-in and drain-and-replace drain a replica which retires when
+    dry; reweights bias load-aware routing). ``None`` (default) runs the
+    historical static fleet on the exact same code path.
 
     Replicas decode in event-compressed stretches (see
     :func:`~repro.engine.serving_sim.simulate_serving`); arrivals,
-    faults, slowdown onsets and retirements split a stretch exactly
-    where per-step stepping would act, so reports are bit-for-bit
-    independent of the compression. ``detail`` has the single-server
-    semantics (``"summary"`` skips per-request lanes and aggregates
-    per-stretch server spans; ``"auto"`` switches on trace size).
-    ``_max_run_steps`` caps every stretch (``1`` forces the per-step
-    reference behavior; equivalence tests use it as the oracle).
+    faults, control epochs, replica joins, slowdown onsets and
+    retirements split a stretch exactly where per-step stepping would
+    act, so reports are bit-for-bit independent of the compression.
+    ``detail`` has the single-server semantics (``"summary"`` skips
+    per-request lanes and aggregates per-stretch server spans;
+    ``"auto"`` switches on trace size). ``_max_run_steps`` caps every
+    stretch (``1`` forces the per-step reference behavior; equivalence
+    tests use it as the oracle).
     """
     if num_replicas < 1:
         raise ValueError("num_replicas must be >= 1")
@@ -315,26 +404,61 @@ def simulate_fleet(
     cost_model = resolve_step_costs(costs, prompt_time, step_time)
     plan = fault_plan or FaultPlan()
     plan.validate_against(num_replicas)
+    scaler = resolve_autoscaler(autoscaler)
+    ttft_sink: list[tuple[float, float]] | None = None
+    if scaler is not None:
+        scaler.bind(costs=cost_model, initial_replicas=num_replicas)
+        ttft_sink = []
 
     replicas = [
         _Replica(i, max_batch=max_batch, policy=policy, costs=cost_model,
-                 full=full)
+                 full=full, ttft_sink=ttft_sink)
         for i in range(num_replicas)
     ]
     for i, (t, factor) in plan.slowdowns().items():
         replicas[i].slow_from = t
         replicas[i].slow_factor = factor
-    crash_events = sorted(
-        (t, i) for i, t in plan.crashes().items())
-    crash_cursor = 0
+    # Crash and recover events share one time-ordered stream; at equal
+    # times a recovery applies first (the survivor-count argument of
+    # FaultPlan.validate_against).
+    fault_events = sorted(
+        [(t, 0, i, "recover") for t, i in plan.recover_events()]
+        + [(t, 1, i, "crash") for t, i in plan.crash_events()])
+    fault_cursor = 0
 
     router = Router(num_replicas, policy=routing)
     replica_of: dict[int, int] = {}
     retried: set[int] = set()
     tokens_discarded = 0
+    autoscale_log: list[AutoscaleEvent] = []
+    telemetry: list[FleetSignals] = []
+    # Pending scale-out boots: cold-start completion times, FIFO.
+    joins: deque[float] = deque()
+    epoch_s = scaler.config.epoch_s if scaler is not None else _INF
+    next_epoch_s = epoch_s
 
     def on_complete(replica_index: int, request: Request, t: float) -> None:
         router.complete(request, replica_index)
+
+    def snapshot(rep: _Replica) -> ReplicaSnapshot:
+        return ReplicaSnapshot(
+            index=rep.index,
+            alive=rep.alive,
+            draining=rep.draining,
+            retired=rep.retired,
+            queue_depth=rep.sched.num_waiting + len(rep.inbox),
+            active_depth=rep.sched.num_active,
+            outstanding_tokens=int(router.outstanding(rep.index)),
+            done_tokens=rep.tokens,
+            up_since_s=(rep.seg_open if rep.seg_open is not None
+                        else rep.join_time),
+        )
+
+    def start_drain(index: int, t: float) -> None:
+        rep = replicas[index]
+        rep.draining = True
+        router.mark_draining(index)
+        rep.maybe_retire(t)
 
     # Arrival stream: the trace plus post-crash requeues, start-time
     # ordered (seq breaks ties in trace/requeue order).
@@ -351,32 +475,88 @@ def simulate_fleet(
             t = rep.next_action_time()
             if t < t_act:
                 t_act, act_i = t, i
-        t_fault = (crash_events[crash_cursor][0]
-                   if crash_cursor < len(crash_events) else _INF)
-        if min(t_arr, t_act, t_fault) == _INF:
+        t_fault = (fault_events[fault_cursor][0]
+                   if fault_cursor < len(fault_events) else _INF)
+        t_join = joins[0] if joins else _INF
+        # Control epochs tick only while the run has work left — once
+        # the heap is drained and every replica is idle there is nothing
+        # to control and the loop must terminate.
+        t_epoch = (next_epoch_s
+                   if scaler is not None and (heap or t_act < _INF)
+                   else _INF)
+        t_split = min(t_arr, t_fault, t_join, t_epoch)
+        if min(t_split, t_act) == _INF:
             break
-        if t_fault <= t_arr and t_fault <= t_act:
-            t, dead_i = crash_events[crash_cursor]
-            crash_cursor += 1
-            dead = replicas[dead_i]
-            victims = dead.crash(t, on_complete)
-            router.mark_failed(dead_i)
-            tokens_discarded += (dead.tokens - dead.completed_tokens())
+        if t_fault <= t_split and t_fault <= t_act:
+            t, _, target_i, kind = fault_events[fault_cursor]
+            fault_cursor += 1
+            target = replicas[target_i]
+            if kind == "recover":
+                target.recover(t)
+                router.mark_recovered(target_i)
+                if scaler is not None:
+                    autoscale_log.append(AutoscaleEvent(
+                        t, "recover", target_i, "fault plan recovery"))
+                continue
+            victims = target.crash(t, on_complete)
+            router.mark_failed(target_i)
+            delta = target.tokens - target.completed_tokens() \
+                - target.discarded
+            target.discarded += delta
+            tokens_discarded += delta
             for t_req, r in victims:
                 heapq.heappush(heap, (t_req, seq, r, True))
                 seq += 1
             continue
+        if t_join <= t_split and t_join <= t_act:
+            t = joins.popleft()
+            new_index = router.add_replica()
+            rep = _Replica(new_index, max_batch=max_batch, policy=policy,
+                           costs=cost_model, full=full, join_time=t,
+                           ttft_sink=ttft_sink)
+            replicas.append(rep)
+            autoscale_log.append(AutoscaleEvent(
+                t, "join", new_index, "cold start complete"))
+            continue
+        if t_epoch <= t_arr and t_epoch <= t_act:
+            t = next_epoch_s
+            next_epoch_s += epoch_s
+            for rep in replicas:
+                rep.maybe_retire(t)
+            samples = list(ttft_sink)
+            ttft_sink.clear()
+            signals, actions = scaler.epoch(
+                t, [snapshot(rep) for rep in replicas],
+                pending_joins=len(joins), max_batch=max_batch,
+                ttft_samples=samples)
+            telemetry.append(signals)
+            for action in actions:
+                if action.kind == "scale_out":
+                    joins.append(t + scaler.cold_start_s)
+                elif action.kind == "replace":
+                    rep = replicas[action.replica]
+                    if rep.alive and not rep.retired:
+                        start_drain(action.replica, t)
+                    joins.append(t + scaler.cold_start_s)
+                elif action.kind == "scale_in":
+                    start_drain(action.replica, t)
+                elif action.kind == "reweight":
+                    router.set_weight(action.replica, action.weight)
+                autoscale_log.append(AutoscaleEvent(
+                    t, action.kind, action.replica, action.reason))
+            continue
         if t_arr <= t_act:
             t, _, r, retry = heapq.heappop(heap)
-            target = router.route(r, t, retry=retry)
+            target_i = router.route(r, t, retry=retry)
             if retry:
                 retried.add(r.request_id)
-            replica_of[r.request_id] = target
-            replicas[target].deliver(r, t)
+            replica_of[r.request_id] = target_i
+            replicas[target_i].deliver(r, t)
             continue
         replicas[act_i].perform_action(on_complete,
-                                       t_limit=min(t_arr, t_fault),
+                                       t_limit=t_split,
                                        max_steps=_max_run_steps)
+        replicas[act_i].maybe_retire(replicas[act_i].now)
 
     # -- assemble the report --------------------------------------------
     finish: dict[int, float] = {}
@@ -398,9 +578,16 @@ def simulate_fleet(
             "router", d.time,
             f"r{d.request_id}->replica{d.replica}"
             + (" (retry)" if d.retry else ""))
+    for ev in autoscale_log:
+        timeline.record_instant(
+            "autoscale", ev.time_s,
+            ev.kind + (f" replica{ev.replica}"
+                       if ev.replica is not None else "")
+            + (f" ({ev.detail})" if ev.detail else ""))
 
+    makespan = max(finish.values(), default=0.0)
     return FleetReport(
-        makespan=max(finish.values(), default=0.0),
+        makespan=makespan,
         finish_times=finish,
         first_token_times=first,
         queue_delays=delays,
@@ -414,6 +601,12 @@ def simulate_fleet(
                      if rep.crash_step is not None},
         schedulers=tuple(rep.sched for rep in replicas),
         timeline=timeline,
+        autoscale_log=tuple(autoscale_log),
+        telemetry=tuple(telemetry),
+        replica_lifetimes={rep.index: rep.lifetime(makespan)
+                           for rep in replicas},
+        past_schedulers={rep.index: tuple(rep.past)
+                         for rep in replicas if rep.past},
     )
 
 
@@ -430,11 +623,18 @@ def synthesize_prompts(trace: WorkloadTrace, *, vocab: int,
 
 @dataclass
 class FleetFunctionalResult:
-    """Outcome of a functional fleet run."""
+    """Outcome of a functional fleet run.
+
+    ``past_sessions`` holds the replayed *pre-crash incarnations* of
+    replicas that recovered mid-run (oldest first); requests that
+    finished before the crash have their outputs there.
+    """
 
     report: FleetReport                       # the shared control plane
     outputs: dict[int, np.ndarray]            # request -> final output ids
-    sessions: tuple[GenerationSession, ...]   # one per replica
+    sessions: tuple[GenerationSession, ...]   # one per replica (final)
+    past_sessions: dict[int, tuple[GenerationSession, ...]] = field(
+        default_factory=dict)
 
 
 def _replay_replica(model, trace: WorkloadTrace,
@@ -483,6 +683,7 @@ def run_fleet_functional(
     policy: str = "fcfs",
     routing: str | RoutingPolicy = "round_robin",
     fault_plan: FaultPlan | None = None,
+    autoscaler: Autoscaler | AutoscaleConfig | None = None,
     prompts: dict[int, np.ndarray] | None = None,
     seed: SeedLike = 0,
     detail: str = "auto",
@@ -506,7 +707,7 @@ def run_fleet_functional(
         trace, num_replicas=num_replicas, costs=costs,
         prompt_time=prompt_time, step_time=step_time, max_batch=max_batch,
         policy=policy, routing=routing, fault_plan=fault_plan,
-        detail=detail,
+        autoscaler=autoscaler, detail=detail,
     )
     if prompts is None:
         prompts = synthesize_prompts(trace, vocab=model.config.vocab,
@@ -525,10 +726,36 @@ def run_fleet_functional(
                         crash_step=report.crash_steps.get(i))
         for i, sched in enumerate(report.schedulers)
     )
+    # Pre-crash incarnations of recovered replicas replay the same way;
+    # each died at its recorded crash step.
+    past_sessions = {
+        i: tuple(
+            _replay_replica(model, trace, prompts, sched,
+                            max_batch=max_batch, policy=policy,
+                            crash_step=crash_step)
+            for sched, crash_step in incarnations
+        )
+        for i, incarnations in report.past_schedulers.items()
+    }
+
+    def output_of(rid: int, i: int) -> np.ndarray:
+        # The final incarnation usually served it; a request that
+        # finished before a crash-and-recover lives in a past session.
+        candidates = [sessions[i]] + list(reversed(past_sessions.get(i, ())))
+        for session in candidates:
+            try:
+                return session.result(rid).output_ids
+            except KeyError:
+                continue
+        raise KeyError(
+            f"request {rid} finished on replica {i} analytically but no "
+            f"incarnation completed it functionally")
+
     outputs = {
-        rid: sessions[i].result(rid).output_ids
+        rid: output_of(rid, i)
         for rid, i in report.replica_of.items()
         if rid in report.finish_times
     }
     return FleetFunctionalResult(report=report, outputs=outputs,
-                                 sessions=sessions)
+                                 sessions=sessions,
+                                 past_sessions=past_sessions)

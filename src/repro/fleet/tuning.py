@@ -92,11 +92,13 @@ def tune_fleet_deployment(
                 expert_skew=trace.expert_skew)):
         batches = tuple(candidate_batches(cap))
         for replicas in range(1, gpu_budget // gpus_per_replica + 1):
-            if fault_plan is not None and fault_plan.crashes():
-                if max(fault_plan.crashes()) >= replicas:
-                    continue  # the plan names replicas this fleet lacks
-                if len(fault_plan.crashes()) >= replicas:
-                    continue  # no survivor would remain
+            if fault_plan is not None:
+                try:
+                    # Out-of-pool faults or no-survivor windows (net of
+                    # recoveries) make this fleet size infeasible.
+                    fault_plan.validate_against(replicas)
+                except ValueError:
+                    continue
             for max_batch in batches:
                 rep = simulate_fleet(
                     trace, num_replicas=replicas, costs=costs,

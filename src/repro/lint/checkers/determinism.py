@@ -1,7 +1,8 @@
 """RP003: simulations must replay bit-for-bit.
 
 The discrete-event core (:mod:`repro.simcore`), the serving replay
-(:mod:`repro.engine`) and the fleet layer (:mod:`repro.fleet`) promise
+(:mod:`repro.engine`), the fleet layer (:mod:`repro.fleet`) and the
+autoscale control loop (:mod:`repro.autoscale`) promise
 that the same trace and seed reproduce the same report — the
 functional-vs-analytical equivalence tests, the fleet failover
 accounting and every figure regeneration depend on it. Three classes of
@@ -84,7 +85,8 @@ class SimDeterminismChecker(Checker):
         "no global RNG, wall-clock reads, or unordered-set iteration in "
         "simulation code (replays must be bit-for-bit)"
     )
-    packages = ("repro.simcore", "repro.engine", "repro.fleet")
+    packages = ("repro.simcore", "repro.engine", "repro.fleet",
+                "repro.autoscale")
 
     def check(self, mod: ModuleInfo) -> Iterator[Finding]:
         yield from self._check_calls(mod)

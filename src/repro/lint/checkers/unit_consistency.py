@@ -50,16 +50,19 @@ DEFAULT_UNIT_REGISTRY: dict[str, str] = {
 # suffix -> unit; longest-match-first so ``_per_s`` beats ``_s`` and the
 # cache-accounting suffixes (``_misses``) beat the ``_ms`` time suffix.
 _SUFFIX_UNITS: tuple[tuple[str, str], ...] = (
+    ("_replicas", "count"),
     ("_hit_rate", "ratio"),
     ("_seconds", "seconds"),
     ("_gbytes", "gigabytes"),
     ("_misses", "count"),
     ("_tokens", "tokens"),
+    ("_depth", "count"),
     ("_steps", "steps"),
     ("_flops", "flops"),
     ("_bytes", "bytes"),
     ("_hits", "count"),
     ("_time", "seconds"),
+    ("_util", "ratio"),
     ("_sec", "seconds"),
     ("_gib", "gigabytes"),
     ("_gb", "gigabytes"),
@@ -134,6 +137,7 @@ class UnitConsistencyChecker(Checker):
         "repro.zero",
         "repro.hardware",
         "repro.moe_placement",
+        "repro.autoscale",
     )
 
     def check(self, mod: ModuleInfo) -> Iterator[Finding]:

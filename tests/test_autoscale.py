@@ -1,0 +1,519 @@
+"""Tests for repro.autoscale: signals, policy, verifier, closed loop.
+
+Unit tests drive the detect/propose/verify stages with hand-built
+snapshots; integration tests run the full loop inside
+``simulate_fleet`` and check the acceptance properties — the loop
+grows under sustained overload, replaces dead and throttled replicas,
+respects the GPU budget, and (crucially) a *disabled or inert*
+autoscaler leaves the simulator's output bit-for-bit untouched.
+"""
+
+import math
+
+import pytest
+
+from repro.autoscale import (
+    AutoscaleConfig,
+    Autoscaler,
+    ReplicaSnapshot,
+    ScaleAction,
+    ScalePolicy,
+    SignalCollector,
+    resolve_autoscaler,
+    tune_autoscaler,
+)
+from repro.engine import synthesize_trace
+from repro.engine.costs import resolve_step_costs
+from repro.fleet import FaultPlan, ReplicaFault, simulate_fleet
+
+COSTS = dict(prompt_time=lambda b, p: 0.02 + 0.001 * p,
+             step_time=lambda b: 0.01 + 0.001 * b)
+
+
+def _snap(index, *, alive=True, draining=False, retired=False, queue=0,
+          active=0, outstanding=0, done=0):
+    return ReplicaSnapshot(
+        index=index, alive=alive, draining=draining, retired=retired,
+        queue_depth=queue, active_depth=active,
+        outstanding_tokens=outstanding, done_tokens=done)
+
+
+def _cfg(**kw):
+    kw.setdefault("min_replicas", 1)
+    kw.setdefault("max_replicas", 4)
+    kw.setdefault("ttft_slo_s", 0.5)
+    kw.setdefault("epoch_s", 1.0)
+    kw.setdefault("cold_start_s", 0.5)
+    return AutoscaleConfig(**kw)
+
+
+class TestSignalCollector:
+    def test_rolling_window_prunes_old_samples(self):
+        col = SignalCollector(window_s=2.0)
+        col.observe(1.0, [_snap(0)], max_batch=4,
+                    ttft_samples=[(0.5, 0.1), (0.9, 0.2)])
+        sig = col.observe(4.0, [_snap(0)], max_batch=4,
+                          ttft_samples=[(3.5, 0.3)])
+        assert sig.window_samples == 1  # the t<2.0 samples fell out
+        assert sig.ttft_p99_s == pytest.approx(0.3)
+
+    def test_p99_none_until_first_sample(self):
+        col = SignalCollector(window_s=5.0)
+        sig = col.observe(1.0, [_snap(0)], max_batch=4)
+        assert sig.ttft_p99_s is None
+
+    def test_service_rate_is_done_token_delta(self):
+        col = SignalCollector(window_s=5.0)
+        col.observe(1.0, [_snap(0, done=10)], max_batch=4)
+        sig = col.observe(3.0, [_snap(0, done=50)], max_batch=4)
+        assert sig.service_rate[0] == pytest.approx(20.0)  # 40 tok / 2 s
+
+    def test_ema_smooths_outstanding(self):
+        col = SignalCollector(window_s=5.0, ema_alpha=0.5)
+        col.observe(1.0, [_snap(0, outstanding=100)], max_batch=4)
+        sig = col.observe(2.0, [_snap(0, outstanding=0)], max_batch=4)
+        assert sig.outstanding_ema[0] == pytest.approx(50.0)
+
+    def test_fleet_aggregates_exclude_dead_and_draining(self):
+        col = SignalCollector(window_s=5.0)
+        sig = col.observe(1.0, [
+            _snap(0, queue=4, active=2),
+            _snap(1, draining=True, queue=2, active=1),
+            _snap(2, alive=False, queue=9),
+        ], max_batch=4)
+        assert sig.live_replicas == 2        # dead excluded
+        assert sig.routable_replicas == 1    # draining excluded too
+        assert sig.queue_depth == 6          # live queues only
+        assert sig.mean_queue_depth == pytest.approx(6.0)  # per routable
+        assert sig.slot_util == pytest.approx(3 / 8)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="window_s"):
+            SignalCollector(window_s=0.0)
+        with pytest.raises(ValueError, match="ema_alpha"):
+            SignalCollector(window_s=1.0, ema_alpha=0.0)
+
+
+class TestScalePolicy:
+    def _signals(self, col, now, snaps, samples=()):
+        return col.observe(now, snaps, max_batch=4, ttft_samples=samples)
+
+    def test_scale_out_needs_sustained_overload(self):
+        cfg = _cfg(sustain_epochs=2, queue_high_depth=2.0)
+        pol = ScalePolicy(cfg)
+        col = SignalCollector(window_s=8.0)
+        snaps = [_snap(0, queue=10, active=4)]
+        sig = self._signals(col, 1.0, snaps)
+        first = pol.propose(sig, snaps, capacity_replicas=1,
+                            dead_unreplaced=[], cold_start_s=0.5)
+        assert all(a.kind != "scale_out" for a in first)  # 1 epoch: hold
+        sig = self._signals(col, 2.0, snaps)
+        second = pol.propose(sig, snaps, capacity_replicas=1,
+                             dead_unreplaced=[], cold_start_s=0.5)
+        assert any(a.kind == "scale_out" for a in second)
+
+    def test_calm_fleet_proposes_nothing(self):
+        cfg = _cfg(sustain_epochs=1, queue_low_depth=0.5)
+        pol = ScalePolicy(cfg)
+        col = SignalCollector(window_s=8.0)
+        # Mid-band: queue above the low watermark, under the high one.
+        snaps = [_snap(0, queue=1, active=2, done=50),
+                 _snap(1, queue=1, active=2, done=50)]
+        for now in (1.0, 2.0, 3.0):
+            sig = self._signals(col, now, snaps,
+                                samples=[(now - 0.1, 0.3)])  # p99 in-band
+            acts = pol.propose(sig, snaps, capacity_replicas=2,
+                               dead_unreplaced=[], cold_start_s=0.5)
+            assert acts == []
+
+    def test_dead_replica_replacement_bypasses_sustain(self):
+        pol = ScalePolicy(_cfg(sustain_epochs=3))
+        col = SignalCollector(window_s=8.0)
+        snaps = [_snap(0, alive=False), _snap(1, queue=1)]
+        sig = self._signals(col, 1.0, snaps)
+        acts = pol.propose(sig, snaps, capacity_replicas=1,
+                           dead_unreplaced=[0], cold_start_s=0.5)
+        assert acts[0].kind == "replace" and acts[0].replica == 0
+
+    def test_replace_outranks_scale_out(self):
+        pol = ScalePolicy(_cfg(sustain_epochs=1, queue_high_depth=1.0))
+        col = SignalCollector(window_s=8.0)
+        snaps = [_snap(0, alive=False), _snap(1, queue=20, active=4)]
+        sig = self._signals(col, 1.0, snaps)
+        acts = pol.propose(sig, snaps, capacity_replicas=1,
+                           dead_unreplaced=[0], cold_start_s=0.5)
+        kinds = [a.kind for a in acts]
+        assert kinds.index("replace") < kinds.index("scale_out")
+
+    def test_slow_replica_reweighted_then_replaced(self):
+        # window_s=1.0 keeps the up-since grace period shorter than the
+        # test's epoch spacing, so both replicas are rate-eligible.
+        cfg = _cfg(sustain_epochs=2, slow_replica_ratio=0.4, window_s=1.0)
+        pol = ScalePolicy(cfg)
+        col = SignalCollector(window_s=8.0)
+
+        def snaps_at(epoch):
+            # Replica 1 produces tokens at 1/5th the peer rate.
+            return [_snap(0, active=2, queue=1, done=500 * epoch),
+                    _snap(1, active=2, queue=1, done=100 * epoch)]
+
+        self._signals(col, 0.0, snaps_at(0))  # baseline for rate deltas
+        sig = self._signals(col, 1.0, snaps_at(1))
+        acts = pol.propose(sig, snaps_at(1), capacity_replicas=2,
+                           dead_unreplaced=[], cold_start_s=0.5)
+        assert acts == []  # one slow epoch is noise
+        sig = self._signals(col, 2.0, snaps_at(2))
+        acts = pol.propose(sig, snaps_at(2), capacity_replicas=2,
+                           dead_unreplaced=[], cold_start_s=0.5)
+        kinds = {a.kind for a in acts}
+        assert "reweight" in kinds and "replace" in kinds
+        rw = next(a for a in acts if a.kind == "reweight")
+        assert rw.replica == 1 and rw.weight < 1.0
+
+    def test_scale_in_targets_least_loaded(self):
+        cfg = _cfg(sustain_epochs=1, queue_low_depth=1.0)
+        pol = ScalePolicy(cfg)
+        col = SignalCollector(window_s=8.0)
+        snaps = [_snap(0, outstanding=500), _snap(1, outstanding=10)]
+        sig = self._signals(col, 1.0, snaps, samples=[(0.9, 0.01)])
+        acts = pol.propose(sig, snaps, capacity_replicas=2,
+                           dead_unreplaced=[], cold_start_s=0.5)
+        ins = [a for a in acts if a.kind == "scale_in"]
+        assert len(ins) == 1 and ins[0].replica == 1
+
+
+class TestAutoscalerVerifier:
+    def _overloaded_epoch(self, scaler, now, n=1):
+        snaps = [_snap(i, queue=10, active=4) for i in range(n)]
+        return scaler.epoch(now, snaps, pending_joins=0, max_batch=4)
+
+    def _bind(self, scaler):
+        scaler.bind(costs=resolve_step_costs(None, **COSTS),
+                    initial_replicas=scaler.config.min_replicas)
+        return scaler
+
+    def test_budget_cap_blocks_scale_out(self):
+        scaler = self._bind(Autoscaler(_cfg(
+            min_replicas=1, max_replicas=1, sustain_epochs=1)))
+        for now in (1.0, 2.0, 3.0):
+            _, acts = self._overloaded_epoch(scaler, now)
+            assert all(a.kind != "scale_out" for a in acts)
+
+    def test_cooldown_then_aging_admits_again(self):
+        scaler = self._bind(Autoscaler(_cfg(
+            max_replicas=8, sustain_epochs=1, scale_out_cooldown_s=2.5)))
+        admitted = []
+        for now in (1.0, 2.0, 3.0, 4.0, 5.0):
+            _, acts = self._overloaded_epoch(scaler, now)
+            admitted += [(now, a.kind) for a in acts if a.kind == "scale_out"]
+        # t=1 admits; t=2,3 are inside the 2.5 s cooldown; t=4 clears it.
+        assert admitted == [(1.0, "scale_out"), (4.0, "scale_out")]
+
+    def test_blocked_scale_out_accrues_aging(self):
+        scaler = self._bind(Autoscaler(_cfg(
+            max_replicas=8, sustain_epochs=1, scale_out_cooldown_s=100.0)))
+        self._overloaded_epoch(scaler, 1.0)   # admitted, arms cooldown
+        self._overloaded_epoch(scaler, 2.0)   # blocked
+        self._overloaded_epoch(scaler, 3.0)   # blocked again
+        assert scaler._aging.get("scale_out:None", 0) >= 2
+
+    def test_replace_is_once_per_replica(self):
+        scaler = self._bind(Autoscaler(_cfg(min_replicas=1, max_replicas=2)))
+        snaps = [_snap(0, alive=False), _snap(1, queue=1)]
+        _, first = scaler.epoch(1.0, snaps, pending_joins=0, max_batch=4)
+        assert [a.kind for a in first] == ["replace"]
+        _, second = scaler.epoch(2.0, snaps, pending_joins=1, max_batch=4)
+        assert all(a.kind != "replace" for a in second)
+
+    def test_scale_in_blocked_at_min(self):
+        scaler = self._bind(Autoscaler(_cfg(
+            min_replicas=2, max_replicas=4, sustain_epochs=1,
+            queue_low_depth=5.0, queue_high_depth=50.0)))
+        snaps = [_snap(0), _snap(1)]
+        for now in (1.0, 2.0, 3.0):
+            _, acts = scaler.epoch(now, snaps, pending_joins=0, max_batch=4)
+            assert all(a.kind != "scale_in" for a in acts)
+
+    def test_bind_rejects_reuse_and_out_of_budget_start(self):
+        scaler = self._bind(Autoscaler(_cfg()))
+        with pytest.raises(RuntimeError, match="may not be reused"):
+            self._bind(scaler)
+        fresh = Autoscaler(_cfg(min_replicas=2, max_replicas=4))
+        with pytest.raises(ValueError, match="outside the autoscale budget"):
+            fresh.bind(costs=resolve_step_costs(None, **COSTS),
+                       initial_replicas=1)
+
+    def test_epoch_before_bind_raises(self):
+        with pytest.raises(RuntimeError, match="bind"):
+            Autoscaler(_cfg()).epoch(1.0, [], pending_joins=0, max_batch=4)
+
+    def test_cold_start_derived_from_cost_model(self):
+        cfg = _cfg(cold_start_s=None, warmup_prompts=4, mean_prompt=100)
+        scaler = Autoscaler(cfg)
+        scaler.bind(costs=resolve_step_costs(None, **COSTS),
+                    initial_replicas=1)
+        assert scaler.cold_start_s == pytest.approx(4 * (0.02 + 0.001 * 100))
+
+    def test_resolve_autoscaler(self):
+        assert resolve_autoscaler(None) is None
+        scaler = Autoscaler(_cfg())
+        assert resolve_autoscaler(scaler) is scaler
+        assert isinstance(resolve_autoscaler(_cfg()), Autoscaler)
+        with pytest.raises(TypeError, match="autoscaler"):
+            resolve_autoscaler("yes please")
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize("kw,match", [
+        (dict(min_replicas=0), "min_replicas"),
+        (dict(min_replicas=3, max_replicas=2), "max_replicas"),
+        (dict(ttft_slo_s=0.0), "ttft_slo_s"),
+        (dict(epoch_s=0.0), "epoch_s"),
+        (dict(window_s=0.0), "window_s"),
+        (dict(queue_low_depth=9.0, queue_high_depth=4.0), "hysteresis"),
+        (dict(sustain_epochs=0), "sustain_epochs"),
+        (dict(cold_start_s=-1.0), "cold_start_s"),
+        (dict(slow_replica_ratio=1.0), "slow_replica_ratio"),
+    ])
+    def test_rejects(self, kw, match):
+        with pytest.raises(ValueError, match=match):
+            _cfg(**kw)
+
+    def test_action_validation(self):
+        with pytest.raises(ValueError, match="kind"):
+            ScaleAction(kind="explode")
+        with pytest.raises(ValueError, match="replica"):
+            ScaleAction(kind="scale_in")
+        with pytest.raises(ValueError, match="weight"):
+            ScaleAction(kind="reweight", replica=0, weight=0.0)
+
+    def test_resolved_defaults_scale_with_epoch(self):
+        cfg = _cfg(epoch_s=0.5)
+        assert cfg.resolved_window_s == pytest.approx(4.0)
+        assert cfg.resolved_out_cooldown_s == pytest.approx(2.0)
+        assert cfg.resolved_in_cooldown_s == pytest.approx(6.0)
+
+
+def _diurnal_trace(n=600, rate=60.0, seed=7):
+    return synthesize_trace(num_requests=n, arrival_rate=rate,
+                            mean_prompt=32, mean_gen=16,
+                            arrival_shape="diurnal", seed=seed)
+
+
+def _max_concurrent(lifetimes):
+    """Peak number of simultaneously-up replicas from lifetime segments."""
+    events = []
+    for segments in lifetimes.values():
+        for start, end in segments:
+            events.append((start, 1))
+            events.append((end, -1))
+    peak = depth = 0
+    for _, delta in sorted(events):
+        depth += delta
+        peak = max(peak, depth)
+    return peak
+
+
+class TestClosedLoop:
+    def test_diurnal_overload_scales_out_and_completes(self):
+        trace = _diurnal_trace()
+        rep = simulate_fleet(
+            trace, num_replicas=1, max_batch=4, **COSTS,
+            routing="least_outstanding",
+            autoscaler=AutoscaleConfig(min_replicas=1, max_replicas=4,
+                                       ttft_slo_s=0.5, epoch_s=0.5))
+        assert rep.num_completed == len(trace.requests)
+        kinds = [e.kind for e in rep.autoscale_log]
+        assert "scale_out" in kinds and "join" in kinds
+        assert rep.num_replicas > 1          # the pool actually grew
+        assert 1.0 < rep.avg_replicas <= 4.0
+        assert len(rep.telemetry) > 0        # epoch signals recorded
+
+    def test_budget_never_exceeded(self):
+        trace = _diurnal_trace(n=800, rate=90.0)
+        cfg = AutoscaleConfig(min_replicas=1, max_replicas=3,
+                              ttft_slo_s=0.2, epoch_s=0.5, sustain_epochs=1)
+        rep = simulate_fleet(trace, num_replicas=1, max_batch=4, **COSTS,
+                             routing="least_outstanding", autoscaler=cfg)
+        # max_replicas + 1 is legal only transiently during a
+        # drain-and-replace overlap; plain growth must stay at max.
+        assert _max_concurrent(rep.replica_lifetimes) <= 4
+        joins = sum(1 for e in rep.autoscale_log if e.kind == "join")
+        replaces = sum(1 for e in rep.autoscale_log if e.kind == "replace")
+        assert joins <= 2 + replaces  # 1 -> 3 plus one join per replace
+
+    def test_crash_triggers_drain_and_replace(self):
+        trace = _diurnal_trace(n=400, rate=50.0)
+        plan = FaultPlan((ReplicaFault(1, 1.0),))
+        rep = simulate_fleet(
+            trace, num_replicas=2, max_batch=4, **COSTS,
+            routing="least_outstanding", fault_plan=plan,
+            autoscaler=AutoscaleConfig(min_replicas=2, max_replicas=3,
+                                       ttft_slo_s=0.5, epoch_s=0.5))
+        assert rep.num_completed == len(trace.requests)
+        events = {e.kind for e in rep.autoscale_log}
+        assert "replace" in events and "join" in events
+        # The replacement is a genuinely new replica in the pool.
+        assert rep.num_replicas >= 3
+        joined = [s for s in rep.replica_stats if s.join_time > 0.0]
+        assert joined and all(s.num_requests >= 0 for s in joined)
+
+    def test_slowdown_triggers_reweight(self):
+        trace = synthesize_trace(num_requests=500, arrival_rate=60.0,
+                                 mean_prompt=32, mean_gen=16, seed=5)
+        plan = FaultPlan((
+            ReplicaFault(1, 0.5, kind="slowdown", factor=8.0),))
+        rep = simulate_fleet(
+            trace, num_replicas=2, max_batch=4, **COSTS,
+            routing="least_outstanding", fault_plan=plan,
+            autoscaler=AutoscaleConfig(min_replicas=2, max_replicas=3,
+                                       ttft_slo_s=0.5, epoch_s=0.5,
+                                       window_s=2.0))
+        assert rep.num_completed == len(trace.requests)
+        events = {e.kind for e in rep.autoscale_log}
+        assert "reweight" in events
+        assert "replace" in events  # sustained throttle earns a fresh boot
+
+    def test_scale_in_during_lull(self):
+        # Full-amplitude diurnal: the trough between the two peaks has
+        # near-zero arrivals, so the loop must shed the replicas it grew
+        # for the first peak. The short TTFT window lets the peak's tail
+        # samples age out quickly once the lull starts.
+        trace = synthesize_trace(
+            num_requests=800, arrival_rate=40.0, mean_prompt=16, mean_gen=8,
+            arrival_shape="diurnal", diurnal_amplitude=1.0, seed=9)
+        rep = simulate_fleet(
+            trace, num_replicas=2, max_batch=4, **COSTS,
+            routing="least_outstanding",
+            autoscaler=AutoscaleConfig(
+                min_replicas=1, max_replicas=4, ttft_slo_s=0.3, epoch_s=0.5,
+                sustain_epochs=1, window_s=1.0, scale_in_cooldown_s=1.0))
+        assert rep.num_completed == len(trace.requests)
+        kinds = [e.kind for e in rep.autoscale_log]
+        assert "scale_in" in kinds
+        retired = [s for s in rep.replica_stats if s.retire_time is not None]
+        assert retired  # a drained replica actually left the pool
+
+
+class TestInertAutoscalerExactness:
+    """Acceptance (d): an inert autoscaler must not move a single bit."""
+
+    FIELDS = ("makespan", "finish_times", "first_token_times",
+              "queue_delays", "replica_of", "retried", "total_tokens",
+              "tokens_discarded")
+
+    def _assert_identical(self, a, b):
+        for name in self.FIELDS:
+            assert getattr(a, name) == getattr(b, name), name
+        assert a.routing == b.routing
+
+    def test_pinned_budget_matches_autoscaler_off(self):
+        trace = _diurnal_trace(n=300, rate=40.0)
+        base = simulate_fleet(trace, num_replicas=3, max_batch=4, **COSTS,
+                              routing="least_outstanding")
+        pinned = simulate_fleet(
+            trace, num_replicas=3, max_batch=4, **COSTS,
+            routing="least_outstanding",
+            autoscaler=AutoscaleConfig(min_replicas=3, max_replicas=3,
+                                       ttft_slo_s=1e9, epoch_s=0.5))
+        self._assert_identical(base, pinned)
+        assert pinned.autoscale_log == ()
+        assert len(pinned.telemetry) > 0  # it watched, it just never acted
+
+    def test_pinned_budget_still_replaces_dead_replicas(self):
+        # Criterion (d) pins the output only for "min==max and no
+        # faults": a crash is remediation, not growth, so even a pinned
+        # budget must boot a replacement (the drain/boot overlap rides
+        # the max+1 allowance) and restore the pool to full strength.
+        trace = _diurnal_trace(n=300, rate=40.0)
+        plan = FaultPlan((ReplicaFault(0, 1.0),))
+        pinned = simulate_fleet(
+            trace, num_replicas=3, max_batch=4, **COSTS,
+            routing="least_outstanding", fault_plan=plan,
+            autoscaler=AutoscaleConfig(min_replicas=3, max_replicas=3,
+                                       ttft_slo_s=1e9, epoch_s=0.5))
+        assert pinned.num_completed == len(trace.requests)
+        kinds = [e.kind for e in pinned.autoscale_log]
+        assert "replace" in kinds and "join" in kinds
+        assert all(k not in ("scale_out", "scale_in") for k in kinds)
+        assert pinned.num_replicas == 4  # original pool + the replacement
+
+    @pytest.mark.parametrize("seed", [3, 11])
+    def test_event_compression_exact_across_scale_events(self, seed):
+        """The compressed fast path must match the per-step oracle even
+        when epochs, joins and drains split decode stretches."""
+        trace = _diurnal_trace(n=350, rate=55.0, seed=seed)
+
+        def run(**kw):
+            return simulate_fleet(
+                trace, num_replicas=1, max_batch=4, **COSTS,
+                routing="least_outstanding",
+                autoscaler=AutoscaleConfig(
+                    min_replicas=1, max_replicas=4, ttft_slo_s=0.4,
+                    epoch_s=0.5), **kw)
+
+        fast, oracle = run(), run(_max_run_steps=1)
+        for name in self.FIELDS:
+            assert getattr(fast, name) == getattr(oracle, name), name
+        assert fast.autoscale_log == oracle.autoscale_log
+        assert fast.replica_lifetimes == oracle.replica_lifetimes
+
+
+class TestTuneAutoscaler:
+    def _base(self):
+        return AutoscaleConfig(min_replicas=1, max_replicas=3,
+                               ttft_slo_s=0.6, epoch_s=0.5)
+
+    def test_sweep_is_exhaustive_and_ranked(self):
+        trace = _diurnal_trace(n=250, rate=45.0)
+        result = tune_autoscaler(
+            trace, self._base(),
+            costs=resolve_step_costs(None, **COSTS), max_batch=4,
+            epoch_grid=(0.5, 1.0), queue_high_grid=(2.0, 4.0),
+            sustain_grid=(1, 2))
+        assert len(result.candidates) == 2 * 2 * 2
+        assert result.best in result.candidates
+        if any(c.meets_slo for c in result.candidates):
+            assert result.best.meets_slo
+            floor = min(c.avg_replicas for c in result.candidates
+                        if c.meets_slo)
+            assert result.best.avg_replicas == pytest.approx(floor)
+        rows = result.table
+        assert len(rows) == len(result.candidates)
+        assert {"epoch_s", "ttft_p99_s", "avg_replicas"} <= rows[0].keys()
+
+    def test_deterministic(self):
+        trace = _diurnal_trace(n=150, rate=40.0)
+        kw = dict(costs=resolve_step_costs(None, **COSTS), max_batch=4,
+                  epoch_grid=(0.5,), queue_high_grid=(4.0,),
+                  sustain_grid=(1,))
+        a = tune_autoscaler(trace, self._base(), **kw)
+        b = tune_autoscaler(trace, self._base(), **kw)
+        assert a.best.ttft_p99_s == b.best.ttft_p99_s
+        assert a.table == b.table
+
+
+def test_autoscaled_beats_fixed_fleet_of_equal_cost():
+    """The headline property (acceptance (c), miniature edition): on a
+    bursty diurnal trace the closed loop beats every fixed fleet of no
+    greater average GPU cost on P99 TTFT. The committed benchmark runs
+    the 100k-request version of this with the same structure."""
+    trace = synthesize_trace(
+        num_requests=2000, arrival_rate=30.0, mean_prompt=32, mean_gen=16,
+        arrival_shape="diurnal", diurnal_amplitude=1.0, seed=13)
+    auto = simulate_fleet(
+        trace, num_replicas=1, max_batch=4, **COSTS,
+        routing="least_outstanding",
+        autoscaler=AutoscaleConfig(min_replicas=1, max_replicas=6,
+                                   ttft_slo_s=0.3, epoch_s=0.5,
+                                   sustain_epochs=1,
+                                   scale_out_cooldown_s=1.0, mean_prompt=32))
+    budget = math.floor(auto.avg_replicas)  # k=ceil would cost MORE GPU
+    p99_auto = auto.ttft_percentile(trace, 99)
+    assert budget >= 2  # the loop actually grew; the bar is not trivial
+    for k in range(1, budget + 1):
+        fixed = simulate_fleet(trace, num_replicas=k, max_batch=4, **COSTS,
+                               routing="least_outstanding")
+        assert p99_auto < fixed.ttft_percentile(trace, 99), (
+            f"fixed fleet of {k} (cost <= {auto.avg_replicas:.2f}) "
+            f"beat the autoscaler")

@@ -140,3 +140,53 @@ class TestFaultPlan:
         ))
         assert plan.crashes() == {0: 1.0}
         assert plan.slowdowns() == {1: (2.0, 4.0)}
+
+
+class TestFaultPlanRecovery:
+    def test_recover_requires_preceding_crash(self):
+        with pytest.raises(ValueError, match="without a preceding crash"):
+            FaultPlan((ReplicaFault(0, 1.0, kind="recover"),))
+        with pytest.raises(ValueError, match="without a preceding crash"):
+            # Two recoveries after one crash: the second is dangling.
+            FaultPlan((ReplicaFault(0, 1.0),
+                       ReplicaFault(0, 2.0, kind="recover"),
+                       ReplicaFault(0, 3.0, kind="recover")))
+
+    def test_crash_recover_crash_alternation_is_legal(self):
+        plan = FaultPlan((ReplicaFault(0, 1.0),
+                          ReplicaFault(0, 2.0, kind="recover"),
+                          ReplicaFault(0, 3.0)))
+        assert plan.crash_events() == [(1.0, 0), (3.0, 0)]
+        assert plan.recover_events() == [(2.0, 0)]
+        # crashes() keeps its historic first-crash shape for old callers.
+        assert plan.crashes() == {0: 1.0}
+
+    def test_double_crash_without_recover_still_rejected(self):
+        with pytest.raises(ValueError, match="more than one crash"):
+            FaultPlan((ReplicaFault(0, 1.0), ReplicaFault(0, 2.0)))
+
+    def test_recovery_lifts_the_crash_every_replica_rule(self):
+        # Both replicas crash, but never simultaneously: 0 is back up
+        # before 1 goes down, so some replica is always alive.
+        plan = FaultPlan((ReplicaFault(0, 1.0),
+                          ReplicaFault(0, 2.0, kind="recover"),
+                          ReplicaFault(1, 3.0)))
+        plan.validate_against(2)  # must not raise
+        # Without the recovery the same crashes are a total outage.
+        with pytest.raises(ValueError, match="crash every replica"):
+            FaultPlan((ReplicaFault(0, 1.0),
+                       ReplicaFault(1, 3.0))).validate_against(2)
+
+    def test_simultaneous_total_outage_still_rejected(self):
+        # The recovery lands at the same instant as the second crash;
+        # ties resolve recover-first, so this squeaks by ...
+        plan = FaultPlan((ReplicaFault(0, 1.0),
+                          ReplicaFault(0, 3.0, kind="recover"),
+                          ReplicaFault(1, 3.0)))
+        plan.validate_against(2)
+        # ... but a window with genuinely no survivor does not.
+        gap = FaultPlan((ReplicaFault(0, 1.0),
+                         ReplicaFault(0, 4.0, kind="recover"),
+                         ReplicaFault(1, 3.0)))
+        with pytest.raises(ValueError, match="all 2 are down"):
+            gap.validate_against(2)

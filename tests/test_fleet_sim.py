@@ -174,3 +174,51 @@ class TestSlowdown:
             assert a.admission_order == b.admission_order
             assert a.retirement_order == b.retirement_order
         assert slow.makespan > fast.makespan
+
+
+class TestRecovery:
+    def test_recovered_replica_serves_again(self):
+        """Crash replica 0 early, bring it back mid-trace: it must lose
+        its in-flight work (requeued to survivors), then take fresh load
+        after the recovery and complete requests on its new scheduler."""
+        trace = _trace(n=120, rate=50.0)
+        plan = FaultPlan((ReplicaFault(0, 0.3),
+                          ReplicaFault(0, 1.0, kind="recover")))
+        rep = simulate_fleet(trace, num_replicas=2, max_batch=4,
+                             routing="least_outstanding", fault_plan=plan,
+                             **COSTS)
+        assert rep.num_completed == len(trace.requests)
+        served_late = [rid for rid, t in rep.finish_times.items()
+                       if rep.replica_of[rid] == 0 and t > 1.0]
+        assert served_late, "recovered replica took no post-recovery load"
+        # Its pre-crash incarnation is preserved for replay/debugging.
+        assert 0 in rep.past_schedulers
+        assert len(rep.past_schedulers[0]) == 1
+
+    def test_recovery_beats_no_recovery(self):
+        """Getting the replica back must not hurt: same crash, strictly
+        more capacity afterwards, so the makespan never degrades."""
+        trace = _trace(n=120, rate=50.0)
+        crash_only = FaultPlan((ReplicaFault(0, 0.3),))
+        with_recover = FaultPlan((ReplicaFault(0, 0.3),
+                                  ReplicaFault(0, 1.0, kind="recover")))
+        worse = simulate_fleet(trace, num_replicas=2, max_batch=4,
+                               routing="least_outstanding",
+                               fault_plan=crash_only, **COSTS)
+        better = simulate_fleet(trace, num_replicas=2, max_batch=4,
+                                routing="least_outstanding",
+                                fault_plan=with_recover, **COSTS)
+        assert better.makespan <= worse.makespan
+        assert better.num_completed == worse.num_completed
+
+    def test_crash_recover_crash_discards_twice(self):
+        trace = _trace(n=100, rate=80.0)
+        plan = FaultPlan((ReplicaFault(0, 0.3),
+                          ReplicaFault(0, 0.6, kind="recover"),
+                          ReplicaFault(0, 1.2)))
+        rep = simulate_fleet(trace, num_replicas=2, max_batch=4,
+                             routing="least_outstanding", fault_plan=plan,
+                             **COSTS)
+        assert rep.num_completed == len(trace.requests)
+        assert len(rep.replica_lifetimes[0]) == 2  # up, down, up, down
+        assert rep.replica_stats[0].alive is False

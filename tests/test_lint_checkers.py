@@ -443,3 +443,65 @@ class TestRegistry:
         assert len(select_checkers(None)) == 4
         with pytest.raises(ValueError, match="RP999"):
             select_checkers("RP999")
+
+
+# -- autoscale coverage (RP002 + RP003) -------------------------------------
+
+
+class TestAutoscaleLintCoverage:
+    """The control-loop vocabulary: `_depth`/`_replicas` are counts,
+    `_util` is a ratio, and repro.autoscale sits inside both the unit
+    and the determinism nets."""
+
+    def test_depth_and_replicas_are_counts(self):
+        clean = lint_snippet(UnitConsistencyChecker(), """
+            def f(queue_depth, max_replicas):
+                return queue_depth + max_replicas
+            """, module="repro.autoscale.fixture")
+        assert clean == []
+        findings = lint_snippet(UnitConsistencyChecker(), """
+            def f(queue_depth, epoch_s):
+                return queue_depth + epoch_s
+            """, module="repro.autoscale.fixture")
+        assert len(findings) == 1
+        assert "count" in findings[0].message
+        assert "seconds" in findings[0].message
+
+    def test_replicas_suffix_beats_the_s_suffix(self):
+        # `min_replicas` must match `_replicas` (count), not `_s`
+        # (seconds): comparing it against a count stays silent.
+        findings = lint_snippet(UnitConsistencyChecker(), """
+            def f(min_replicas, prefetch_hits):
+                return min_replicas < prefetch_hits
+            """, module="repro.autoscale.fixture")
+        assert findings == []
+
+    def test_util_is_a_ratio(self):
+        clean = lint_snippet(UnitConsistencyChecker(), """
+            def f(slot_util, hit_rate):
+                return slot_util + hit_rate
+            """, module="repro.autoscale.fixture")
+        assert clean == []
+        findings = lint_snippet(UnitConsistencyChecker(), """
+            def f(slot_util, cold_start_s):
+                return slot_util - cold_start_s
+            """, module="repro.autoscale.fixture")
+        assert len(findings) == 1
+        assert "ratio" in findings[0].message
+
+    def test_rp002_covers_autoscale_package(self):
+        findings = lint_snippet(UnitConsistencyChecker(), """
+            def f(ttft_p99_s, queue_depth):
+                return ttft_p99_s + queue_depth
+            """, module="repro.autoscale.fixture")
+        assert len(findings) == 1
+        assert findings[0].code == "RP002"
+
+    def test_rp003_covers_autoscale_package(self):
+        findings = lint_snippet(SimDeterminismChecker(), """
+            import numpy as np
+            def f():
+                return np.random.rand()
+            """, module="repro.autoscale.fixture")
+        assert len(findings) == 1
+        assert findings[0].code == "RP003"

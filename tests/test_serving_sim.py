@@ -251,3 +251,80 @@ def test_serving_conservation_property(n, rate, cap):
     bigger = simulate_serving(saturated, prompt_time=prompt_t,
                               step_time=step_t, max_batch=cap + 1)
     assert bigger.makespan <= small.makespan + 1e-9
+
+
+class TestArrivalShapes:
+    def test_poisson_is_the_verbatim_default(self):
+        """arrival_shape='poisson' must reproduce the historic default
+        bit for bit: same seed, same trace, no drift for old callers."""
+        legacy = synthesize_trace(num_requests=50, arrival_rate=5.0, seed=3)
+        explicit = synthesize_trace(num_requests=50, arrival_rate=5.0,
+                                    seed=3, arrival_shape="poisson")
+        assert legacy == explicit
+
+    @pytest.mark.parametrize("shape", ["diurnal", "flash_crowd"])
+    def test_shapes_deterministic_and_well_formed(self, shape):
+        a = synthesize_trace(num_requests=200, arrival_rate=20.0, seed=5,
+                             arrival_shape=shape)
+        b = synthesize_trace(num_requests=200, arrival_rate=20.0, seed=5,
+                             arrival_shape=shape)
+        assert a == b
+        arrivals = [r.arrival for r in a.requests]
+        assert len(arrivals) == 200
+        assert arrivals == sorted(arrivals)
+        assert all(t >= 0.0 for t in arrivals)
+        c = synthesize_trace(num_requests=200, arrival_rate=20.0, seed=6,
+                             arrival_shape=shape)
+        assert c != a  # the seed actually matters
+
+    def test_diurnal_peak_denser_than_trough(self):
+        t = synthesize_trace(num_requests=4000, arrival_rate=40.0, seed=7,
+                             arrival_shape="diurnal", diurnal_amplitude=1.0)
+        span = t.duration
+        period = span / 2.0  # mirrors the synthesizer's nominal default
+        # Phase 0..period: sin>0 in the first half (peak), <0 in the
+        # second (trough). Count arrivals falling in each.
+        phases = [(r.arrival % period) / period for r in t.requests]
+        peak = sum(1 for p in phases if p < 0.5)
+        trough = sum(1 for p in phases if p >= 0.5)
+        assert peak > 2 * trough
+
+    def test_flash_crowd_concentrates_in_bursts(self):
+        n, rate = 2000, 20.0
+        t = synthesize_trace(num_requests=n, arrival_rate=rate, seed=8,
+                             arrival_shape="flash_crowd", burst_factor=10.0,
+                             num_bursts=2)
+        nominal_span = n / rate
+        centers = (0.25 * nominal_span, 0.75 * nominal_span)
+        half_width = 0.02 * nominal_span
+        in_burst = sum(
+            1 for r in t.requests
+            if any(abs(r.arrival - c) <= half_width for c in centers))
+        # The burst windows are 8% of the span; at 10x rate they should
+        # hold several times their uniform share of arrivals.
+        assert in_burst > 0.25 * n
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError, match="arrival_shape"):
+            synthesize_trace(num_requests=5, arrival_rate=1.0,
+                             arrival_shape="square_wave")
+        with pytest.raises(ValueError, match="diurnal_amplitude"):
+            synthesize_trace(num_requests=5, arrival_rate=1.0,
+                             arrival_shape="diurnal", diurnal_amplitude=1.5)
+        with pytest.raises(ValueError, match="diurnal_period"):
+            synthesize_trace(num_requests=5, arrival_rate=1.0,
+                             arrival_shape="diurnal", diurnal_period=0.0)
+        with pytest.raises(ValueError, match="burst_factor"):
+            synthesize_trace(num_requests=5, arrival_rate=1.0,
+                             arrival_shape="flash_crowd", burst_factor=1.0)
+        with pytest.raises(ValueError, match="num_bursts"):
+            synthesize_trace(num_requests=5, arrival_rate=1.0,
+                             arrival_shape="flash_crowd", num_bursts=0)
+
+    def test_lengths_and_sessions_still_drawn(self):
+        t = synthesize_trace(num_requests=100, arrival_rate=10.0, seed=9,
+                             arrival_shape="diurnal", num_sessions=4,
+                             mean_prompt=32, mean_gen=8)
+        assert all(r.prompt_len >= 1 and r.gen_tokens >= 1
+                   for r in t.requests)
+        assert {r.session for r in t.requests} <= {0, 1, 2, 3}
