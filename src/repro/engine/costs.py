@@ -75,18 +75,27 @@ class _HasPromptLen(Protocol):
 
 @dataclass(frozen=True)
 class PromptShape:
-    """Minimal request stand-in for pricing: just the prompt length.
+    """Minimal request stand-in for pricing: just the prompt shape.
 
     Any object with a ``prompt_len`` attribute (``SchedRequest``, a
     trace ``Request``) works where a "request" is expected; this class
-    exists for callers that have only the number.
+    exists for callers that have only the numbers.
+
+    ``shared_prefix_len`` marks the leading tokens whose KV already
+    lives in a shared cache (a chat turn forked from its conversation):
+    the prefix-aware adapters prefill only the remaining suffix, priced
+    attending over the *full* context (cached prefix included).
     """
 
     prompt_len: int
+    shared_prefix_len: int = 0
 
     def __post_init__(self) -> None:
         if self.prompt_len < 1:
             raise ValueError("prompt_len must be >= 1")
+        if not 0 <= self.shared_prefix_len < self.prompt_len:
+            raise ValueError(
+                "shared_prefix_len must satisfy 0 <= prefix < prompt_len")
 
 
 @dataclass(frozen=True)
@@ -235,7 +244,10 @@ class ClosureStepCost(StepCostModel):
     ``prompt_time(batch, prompt_len)`` takes the batch size *including*
     the admitted request (the pre-refactor convention); ``step_time
     (batch)`` the live batch size. State KV contents are ignored — the
-    closures never saw them either.
+    closures never saw them either. Likewise prefix-blind: a prompt with
+    ``shared_prefix_len`` set still pays ``prompt_time`` on its full
+    length, because the closure signature has no slot for the split
+    (use :class:`DenseStepCost` and friends for prefix-aware pricing).
     """
 
     def __init__(
@@ -297,10 +309,14 @@ class DenseStepCost(StepCostModel):
     def prompt_cost(self, state: BatchState, request: _HasPromptLen) -> float:
         riders = state.batch
         kv = self._rider_kv(state) if riders else 0
-        key = ("prompt", request.prompt_len, riders, kv)
+        plen = request.prompt_len
+        # A prefix-hit prompt prefills only its unshared suffix, attending
+        # over the full context (the cached prefix is KV, not new tokens).
+        spl = getattr(request, "shared_prefix_len", 0)
+        key = ("prompt", plen, spl, riders, kv)
         got = self._memo.get(key)
         if got is None:
-            k, c = self._fwd_pass(1, request.prompt_len, request.prompt_len)
+            k, c = self._fwd_pass(1, plen - spl, plen)
             if riders:  # the live batch rides along in the same iteration
                 dk, dc = self._fwd_pass(riders, 1, kv)
                 k, c = k + dk, c + dc
@@ -385,7 +401,10 @@ class MoEStepCost(StepCostModel):
         return got
 
     def prompt_cost(self, state: BatchState, request: _HasPromptLen) -> float:
-        cost = self._step(request.prompt_len, request.prompt_len)
+        spl = getattr(request, "shared_prefix_len", 0)
+        # Prefix-hit prompts route only the unshared suffix tokens through
+        # gating/all-to-all/FFN, attending over the full context.
+        cost = self._step(request.prompt_len - spl, request.prompt_len)
         if state.batch:  # the live batch rides along in the same iteration
             cost += self._step(state.batch, max(1, state.mean_kv))
         return cost
@@ -423,7 +442,10 @@ class ZeroStepCost(StepCostModel):
         return got
 
     def prompt_cost(self, state: BatchState, request: _HasPromptLen) -> float:
-        cost = self._pass(1, request.prompt_len, request.prompt_len)
+        spl = getattr(request, "shared_prefix_len", 0)
+        # Weights stream regardless, but only the unshared suffix runs
+        # through the pass; it attends over the full context.
+        cost = self._pass(1, request.prompt_len - spl, request.prompt_len)
         if state.batch:  # riders pay a decode pass in the same round
             cost += self._pass(state.batch, 1, max(1, state.mean_kv))
         return cost

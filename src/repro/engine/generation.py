@@ -45,7 +45,18 @@ __all__ = ["GenerationRequest", "GenerationSession"]
 
 @dataclass
 class GenerationRequest:
-    """One sequence moving through the session."""
+    """One sequence moving through the session.
+
+    ``session``/``tenant``/``turn`` metadata mirrors the trace
+    :class:`~repro.engine.serving_sim.Request` fields;
+    ``shared_prefix_len`` is the *declared* reusable prefix, while
+    ``prefix_reused`` records what the engine actually inherited at
+    admission (0 = full prefill). When a prefix was reused, ``prompt``
+    holds the *adopted* prompt: its first ``prefix_reused`` tokens are
+    the parked parent's actual context, which the shared KV blocks were
+    computed from — the output contract (equal to solo generation) holds
+    against this prompt.
+    """
 
     request_id: int
     prompt: np.ndarray  # (seq,) int
@@ -54,11 +65,34 @@ class GenerationRequest:
     cache: object | None = None
     done: bool = False
     finish_reason: str | None = None
+    session: int | None = None
+    tenant: str | None = None
+    shared_prefix_len: int = 0
+    prefix_reused: int = 0
 
     @property
     def output_ids(self) -> np.ndarray:
         """Prompt + generated tokens."""
         return np.concatenate([self.prompt, np.array(self.generated, dtype=int)])
+
+
+@dataclass
+class _ParkedPrefix:
+    """A retired session turn's cache, parked for the next turn to fork.
+
+    ``tokens`` are exactly the positions the cache holds (the turn's
+    prompt plus all generated tokens but the final one — that token is
+    emitted, never appended); a forking child adopts ``tokens[:eff]`` as
+    its prompt head so the aliased KV provably matches its prompt.
+    ``charge`` is the pool-block footprint the parked cache keeps
+    occupied, counted against admission headroom until the entry is
+    consumed or evicted.
+    """
+
+    tokens: np.ndarray
+    cache: object
+    ctx: int
+    charge: int
 
 
 class GenerationSession:
@@ -74,12 +108,14 @@ class GenerationSession:
         sampling: SamplingConfig | None = None,
         seed: SeedLike = 0,
         offload_idle_kv: bool = False,
-        policy: str = "fcfs",
+        policy: str | object = "fcfs",
         kv_block_size: int = 16,
         kv_pool_blocks: int | None = None,
+        prefix_sharing: bool = False,
     ) -> None:
         """``policy`` picks the admission order (see
-        :data:`~repro.engine.scheduler.ADMISSION_POLICIES`).
+        :data:`~repro.engine.scheduler.ADMISSION_POLICIES`; a configured
+        tenant-aware policy instance also works).
 
         ``kv_block_size``/``kv_pool_blocks`` shape the paged-KV pool
         (default pool: enough blocks for ``max_concurrency`` sequences of
@@ -87,7 +123,20 @@ class GenerationSession:
         instead: every request's KV parks in host memory between its
         steps (Sec. IV-C2's policy, functionally);
         :attr:`kv_bytes_offloaded`/:attr:`kv_bytes_fetched` expose the
-        induced PCIe traffic the performance model prices."""
+        induced PCIe traffic the performance model prices.
+
+        ``prefix_sharing`` keeps each session's most recent retired
+        cache *parked* in the pool; the session's next turn (submitted
+        with ``session=`` and ``shared_prefix_len=``) forks it —
+        inheriting the shared prefix blocks by copy-on-write aliasing —
+        and prefills only its unshared suffix. Parked blocks count
+        against admission headroom and are evicted oldest-first under
+        pool pressure. Requires the paged-KV backend (not
+        ``offload_idle_kv``)."""
+        if prefix_sharing and offload_idle_kv:
+            raise ValueError(
+                "prefix_sharing requires the paged-KV backend; it cannot "
+                "be combined with offload_idle_kv")
         self.model = model
         self.eos_token = eos_token
         self.max_concurrency = max_concurrency
@@ -114,6 +163,15 @@ class GenerationSession:
                 layers, self.kv_allocator, block_size=kv_block_size
             )
         self.decoder = RaggedDecoder(model, cache_factory=cache_factory)
+        self.prefix_sharing = prefix_sharing
+        # session -> parked prefix, in park order (oldest first for
+        # eviction); a session holds at most one parked turn.
+        self._parked: dict[int, _ParkedPrefix] = {}
+        self._parked_total = 0  # pool blocks held by parked caches
+        self.prefix_hits = 0
+        self.prefix_hit_tokens = 0
+        self.kv_blocks_saved = 0
+        self.prefix_evictions = 0
         self._reqs: dict[int, GenerationRequest] = {}
         self._row_of: dict[int, int] = {}
         self._reserved: dict[int, int] = {}  # request_id -> reserved blocks
@@ -128,18 +186,31 @@ class GenerationSession:
     # -- request lifecycle ---------------------------------------------------
 
     def submit(self, prompt_ids, *, max_new_tokens: int,
-               request_id: int | None = None) -> int:
+               request_id: int | None = None, session: int | None = None,
+               tenant: str | None = None,
+               shared_prefix_len: int = 0) -> int:
         """Queue a request; returns its id.
 
         ``request_id`` lets a caller that already names its requests (the
         fleet layer routing a trace) keep its ids instead of the
         session-assigned counter; duplicates raise ``ValueError``.
+        ``session``/``tenant`` tag the request for prefix sharing and
+        tenant-aware admission; ``shared_prefix_len`` declares how many
+        leading prompt tokens repeat the session's previous turn (the
+        engine reuses at most that many, capped by what is actually
+        parked — ignored unless the session was constructed with
+        ``prefix_sharing=True``).
         """
         prompt = np.asarray(prompt_ids, dtype=int).ravel()
         if prompt.size == 0:
             raise ValueError("prompt must contain at least one token")
         if max_new_tokens < 1:
             raise ValueError("max_new_tokens must be >= 1")
+        if not 0 <= shared_prefix_len < prompt.size:
+            raise ValueError(
+                "shared_prefix_len must satisfy 0 <= prefix < prompt length")
+        if shared_prefix_len and session is None:
+            raise ValueError("shared_prefix_len needs a session to share with")
         if request_id is None:
             request_id = next(self._ids)
         elif request_id in self._reqs:
@@ -148,12 +219,16 @@ class GenerationSession:
             request_id=int(request_id),
             prompt=prompt,
             max_new_tokens=max_new_tokens,
+            session=session,
+            tenant=tenant,
+            shared_prefix_len=shared_prefix_len,
         )
         sched_req = SchedRequest(
             request_id=req.request_id,
             prompt_len=int(prompt.size),
             max_new_tokens=max_new_tokens,
             arrival=float(self.scheduler.step),
+            tenant=tenant,
         )
         if self.kv_allocator is not None:
             need = self._blocks_for(sched_req)
@@ -195,11 +270,33 @@ class GenerationSession:
 
     def _try_reserve(self, sched_req: SchedRequest) -> bool:
         """Admission gate: reserve the request's worst-case blocks now, so
-        candidates admitted in the same round see each other's claims."""
+        candidates admitted in the same round see each other's claims.
+
+        Parked prefix caches count against headroom too; under pressure
+        they are evicted oldest-first (sparing, if possible, the parked
+        turn this very request wants to fork) before admission is
+        refused. The reservation is the *full* worst case even on a
+        prefix hit: the fork transfers the prefix blocks to this request,
+        so they end up inside its reservation, not on top of it.
+        """
         if self.kv_allocator is None:
             return True
         need = self._blocks_for(sched_req)
-        if self._reserved_total + need > self.kv_allocator.num_blocks:
+
+        def headroom() -> int:
+            return (self.kv_allocator.num_blocks
+                    - self._reserved_total - self._parked_total)
+
+        while need > headroom() and self._parked:
+            own = self._reqs[sched_req.request_id].session
+            victim = next((s for s in self._parked if s != own), None)
+            if victim is None:  # only our own parent left — correctness
+                victim = own    # beats the hit; evict it and prefill fully
+            entry = self._parked.pop(victim)
+            entry.cache.free()
+            self._parked_total -= entry.charge
+            self.prefix_evictions += 1
+        if need > headroom():
             return False
         self._reserved[sched_req.request_id] = need
         self._reserved_total += need
@@ -208,18 +305,51 @@ class GenerationSession:
     def _release(self, request_id: int) -> None:
         self._reserved_total -= self._reserved.pop(request_id, 0)
 
+    def _fork_prefix(self, req: GenerationRequest):
+        """Consume the request's session's parked cache, if any: fork the
+        shared prefix, adopt the parent's tokens under it, free the
+        parent. Returns the forked child cache or ``None`` (full
+        prefill)."""
+        if (not self.prefix_sharing or req.session is None
+                or not req.shared_prefix_len):
+            return None
+        parked = self._parked.pop(req.session, None)
+        if parked is None:
+            return None
+        self._parked_total -= parked.charge
+        eff = min(req.shared_prefix_len, parked.ctx)
+        child = parked.cache.fork(eff)
+        parked.cache.free()  # suffix blocks return; prefix now child-owned
+        # Adopt the parent's actual context under the shared prefix: the
+        # aliased KV was computed from exactly these tokens, so the
+        # output contract (== solo generation on ``req.prompt``) holds.
+        prompt = req.prompt.copy()
+        prompt[:eff] = parked.tokens[:eff]
+        req.prompt = prompt
+        req.prefix_reused = eff
+        self.prefix_hits += 1
+        self.prefix_hit_tokens += eff
+        self.kv_blocks_saved += blocks_needed(
+            eff, block_size=self.kv_block_size,
+            num_layers=self.model.config.layers)
+        return child
+
     def _admit(self) -> None:
         """Fill free slots per the scheduler's policy; prefill all
-        admissions of a round together in one ragged forward."""
+        admissions of a round together in one ragged forward (prefix
+        hits prefill only their unshared suffix)."""
         while True:
             admitted = self.scheduler.admit(can_admit=self._try_reserve)
             if not admitted:
                 return
             reqs = [self._reqs[s.request_id] for s in admitted]
+            prefixes = [self._fork_prefix(r) for r in reqs]
             try:
                 row_ids, logits = self.decoder.add_rows(
-                    [r.prompt for r in reqs])
+                    [r.prompt for r in reqs], prefixes=prefixes)
             except Exception:
+                # add_rows frees every row cache (forked children
+                # included) on failure; only the reservations remain.
                 for s in admitted:
                     self._release(s.request_id)
                 raise
@@ -264,6 +394,16 @@ class GenerationSession:
         return 0 if self.kv_allocator is None else self.kv_allocator.used_blocks
 
     @property
+    def peak_kv_blocks(self) -> int:
+        """High-water pool occupancy, parked prefix caches included."""
+        return 0 if self.kv_allocator is None else self.kv_allocator.peak_used
+
+    @property
+    def kv_blocks_parked(self) -> int:
+        """Pool blocks currently held by parked session prefixes."""
+        return self._parked_total
+
+    @property
     def forward_calls(self) -> int:
         """Model forwards issued so far (prefills + one per decode step)."""
         return self.decoder.forward_calls
@@ -278,12 +418,32 @@ class GenerationSession:
             self._retire(req)
 
     def _retire(self, req: GenerationRequest) -> None:
-        """Free the request's slot, row and KV memory; bank its counters."""
+        """Free the request's slot, row and KV memory; bank its counters.
+
+        With prefix sharing on, a session-tagged request's cache is
+        *parked* instead of freed — the session's next turn forks it —
+        superseding any previous parked turn of the same session.
+        """
         if isinstance(req.cache, HostOffloadKVCache):
             self._kv_bytes_offloaded_retired += req.cache.bytes_offloaded
             self._kv_bytes_fetched_retired += req.cache.bytes_fetched
         row_id = self._row_of.pop(req.request_id)
-        self.decoder.drop_rows([row_id])  # paged blocks return to the pool
+        if self.prefix_sharing and req.session is not None:
+            cache = self.decoder.detach_row(row_id)
+            ctx = cache.seq_len()
+            prev = self._parked.pop(req.session, None)
+            if prev is not None:
+                prev.cache.free()
+                self._parked_total -= prev.charge
+            charge = blocks_needed(ctx, block_size=self.kv_block_size,
+                                   num_layers=self.model.config.layers)
+            # The cache holds every token but the final emitted one.
+            self._parked[req.session] = _ParkedPrefix(
+                tokens=req.output_ids[:-1], cache=cache, ctx=ctx,
+                charge=charge)
+            self._parked_total += charge
+        else:
+            self.decoder.drop_rows([row_id])  # blocks return to the pool
         self._release(req.request_id)
         req.cache = None  # free the KV memory (Sec. IV-B pressure)
         self._active.remove(req)

@@ -44,7 +44,46 @@ class ReportStats:
         """qth percentile of time to first token over ``trace``."""
         return self._percentile([self.ttft(r) for r in trace.requests], q)
 
+    # -- per-tenant views -----------------------------------------------------
+
+    def tenants(self, trace) -> list:
+        """Distinct tenant tags in ``trace``, in first-appearance order
+        (``None`` appears if any request is untagged)."""
+        seen: dict = {}
+        for r in trace.requests:
+            seen.setdefault(r.tenant, None)
+        return list(seen)
+
+    def tenant_requests(self, trace, tenant) -> list:
+        """The requests of ``trace`` billed to ``tenant``."""
+        got = [r for r in trace.requests if r.tenant == tenant]
+        if not got:
+            raise ValueError(f"no requests for tenant {tenant!r}")
+        return got
+
+    def tenant_latency_percentile(self, trace, tenant, q: float) -> float:
+        """qth percentile of end-to-end latency over one tenant's
+        requests — the number checked against that tenant's SLA."""
+        return self._percentile(
+            [self.latency(r) for r in self.tenant_requests(trace, tenant)], q)
+
+    def tenant_ttft_percentile(self, trace, tenant, q: float) -> float:
+        """qth percentile of time to first token over one tenant's
+        requests."""
+        return self._percentile(
+            [self.ttft(r) for r in self.tenant_requests(trace, tenant)], q)
+
     @property
     def tokens_per_second(self) -> float:
         """Sustained generation throughput over the busy period."""
         return self.total_tokens / self.makespan if self.makespan > 0 else 0.0
+
+    @property
+    def kv_dedup_ratio(self) -> float:
+        """Fraction of would-be KV block allocations that prefix sharing
+        deduplicated away (0.0 when nothing was allocated). Consumers
+        provide ``kv_blocks_allocated`` and ``kv_blocks_saved``."""
+        would_be = self.kv_blocks_allocated + self.kv_blocks_saved
+        if not would_be:
+            return 0.0
+        return self.kv_blocks_saved / would_be

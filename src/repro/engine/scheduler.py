@@ -35,17 +35,26 @@ __all__ = [
     "SchedulerEvent",
     "Scheduler",
     "ADMISSION_POLICIES",
+    "TenantFairShare",
+    "TenantPriority",
 ]
 
 
 @dataclass(frozen=True)
 class SchedRequest:
-    """Scheduling-relevant metadata of one request (no tensors)."""
+    """Scheduling-relevant metadata of one request (no tensors).
+
+    ``tenant`` tags the request with its traffic class for the
+    tenant-aware admission policies (:class:`TenantFairShare`,
+    :class:`TenantPriority`); ``None`` means untagged — tenant-blind
+    policies never look at it.
+    """
 
     request_id: int
     prompt_len: int
     max_new_tokens: int
     arrival: float = 0.0
+    tenant: str | None = None
 
     def __post_init__(self) -> None:
         if self.prompt_len < 1:
@@ -77,9 +86,124 @@ def _shortest_prompt(queue: Sequence[SchedRequest]) -> SchedRequest:
     return min(queue, key=lambda r: r.prompt_len)
 
 
-ADMISSION_POLICIES: dict[str, Callable[[Sequence[SchedRequest]], SchedRequest]] = {
+class TenantFairShare:
+    """Weighted fair-share admission across tenants.
+
+    Picks the queued request whose tenant currently holds the fewest
+    slots *per unit weight* (ties broken by queue order), so a tenant
+    flooding the queue cannot starve a light one: each admission goes to
+    the most under-served tenant with work waiting. ``slot_caps`` bounds
+    a tenant's concurrent slots; capped tenants are *skipped* (their
+    requests stay queued, in order) and the policy returns ``None`` —
+    stopping admission — only when every queued request is capped out.
+
+    Stateless: the pick is a pure function of (queue, active), so the
+    analytical and functional backends sharing one instance make
+    identical decisions. Untagged requests (``tenant=None``) form their
+    own implicit tenant with ``default_weight``.
+    """
+
+    tenant_aware = True
+
+    def __init__(
+        self,
+        weights: dict[str, float] | None = None,
+        *,
+        slot_caps: dict[str, int] | None = None,
+        default_weight: float = 1.0,
+    ) -> None:
+        if default_weight <= 0:
+            raise ValueError("default_weight must be > 0")
+        for name, w in (weights or {}).items():
+            if w <= 0:
+                raise ValueError(f"weight of tenant {name!r} must be > 0")
+        for name, cap in (slot_caps or {}).items():
+            if cap < 1:
+                raise ValueError(f"slot cap of tenant {name!r} must be >= 1")
+        self.weights = dict(weights or {})
+        self.slot_caps = dict(slot_caps or {})
+        self.default_weight = default_weight
+
+    def __call__(
+        self,
+        queue: Sequence[SchedRequest],
+        active: Sequence[SchedRequest],
+    ) -> SchedRequest | None:
+        held: dict[str | None, int] = {}
+        for r in active:
+            held[r.tenant] = held.get(r.tenant, 0) + 1
+        best: SchedRequest | None = None
+        best_key: tuple[float, int] | None = None
+        for i, r in enumerate(queue):
+            cap = self.slot_caps.get(r.tenant)
+            if cap is not None and held.get(r.tenant, 0) >= cap:
+                continue
+            weight = self.weights.get(r.tenant, self.default_weight)
+            key = (held.get(r.tenant, 0) / weight, i)
+            if best_key is None or key < best_key:
+                best, best_key = r, key
+        return best
+
+
+class TenantPriority:
+    """Strict-priority admission across tenants.
+
+    Always admits from the highest-priority tenant with work queued
+    (larger ``priorities`` value = more important; unlisted tenants get
+    ``default_priority``); within a tenant, queue order. ``slot_caps``
+    has :class:`TenantFairShare` semantics — a capped tenant's requests
+    wait without blocking lower-priority traffic, and ``None`` (stop
+    admission) comes back only when nothing admissible remains.
+    """
+
+    tenant_aware = True
+
+    def __init__(
+        self,
+        priorities: dict[str, int] | None = None,
+        *,
+        slot_caps: dict[str, int] | None = None,
+        default_priority: int = 0,
+    ) -> None:
+        for name, cap in (slot_caps or {}).items():
+            if cap < 1:
+                raise ValueError(f"slot cap of tenant {name!r} must be >= 1")
+        self.priorities = dict(priorities or {})
+        self.slot_caps = dict(slot_caps or {})
+        self.default_priority = default_priority
+
+    def __call__(
+        self,
+        queue: Sequence[SchedRequest],
+        active: Sequence[SchedRequest],
+    ) -> SchedRequest | None:
+        held: dict[str | None, int] = {}
+        for r in active:
+            held[r.tenant] = held.get(r.tenant, 0) + 1
+        best: SchedRequest | None = None
+        best_key: tuple[int, int] | None = None
+        for i, r in enumerate(queue):
+            cap = self.slot_caps.get(r.tenant)
+            if cap is not None and held.get(r.tenant, 0) >= cap:
+                continue
+            prio = self.priorities.get(r.tenant, self.default_priority)
+            key = (-prio, i)
+            if best_key is None or key < best_key:
+                best, best_key = r, key
+        return best
+
+
+#: Named admission policies. Plain entries are callables over the
+#: waiting queue; policies with a truthy ``tenant_aware`` attribute are
+#: called as ``policy(queue, active)`` and may return ``None`` to stop
+#: admission (everything admissible is capped out). ``"tenant_fair"``
+#: is an unweighted, uncapped :class:`TenantFairShare`; configured
+#: instances (weights, caps, priorities) are passed as the policy
+#: callable directly.
+ADMISSION_POLICIES: dict[str, Callable[..., SchedRequest | None]] = {
     "fcfs": _fcfs,
     "shortest_prompt": _shortest_prompt,
+    "tenant_fair": TenantFairShare(),
 }
 
 
@@ -113,6 +237,9 @@ class Scheduler:
                 )
             self.policy_name = policy
             self._pick = ADMISSION_POLICIES[policy]
+        # Tenant-aware policies see the active set too and may decline
+        # (return None) when every queued request is capped out.
+        self._tenant_aware = bool(getattr(self._pick, "tenant_aware", False))
         self.max_slots = max_slots
         self.eos_token = eos_token
         # deque is a registered Sequence, so policy callables index and
@@ -245,7 +372,12 @@ class Scheduler:
         while self._queue and self.free_slots > 0:
             if max_admit is not None and len(admitted) >= max_admit:
                 break
-            cand = self._pick(self._queue)
+            if self._tenant_aware:
+                cand = self._pick(self._queue, tuple(self._active.values()))
+                if cand is None:  # everything admissible is capped out
+                    break
+            else:
+                cand = self._pick(self._queue)
             if can_admit is not None and not can_admit(cand):
                 break
             if cand is self._queue[0]:  # FCFS and head-of-queue ties: O(1)

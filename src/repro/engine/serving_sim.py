@@ -26,6 +26,7 @@ from typing import Callable
 
 import numpy as np
 
+from ..model.paged_kv import blocks_needed
 from ..rng import SeedLike, as_generator
 from ..simcore.trace import Timeline
 from .costs import BatchState, DenseStepCost, PromptShape, StepCostModel, resolve_step_costs
@@ -65,6 +66,20 @@ class Request:
     ``session`` optionally tags the request with a conversation/user id;
     the fleet layer's affinity routing keeps one session's requests on
     one replica (warm prefix/KV locality). ``None`` means unaffiliated.
+
+    The scenario zoo's fields all default to "plain request", so traces
+    built before they existed are bit-for-bit unchanged:
+
+    * ``tenant`` — the customer/workload class the request bills to;
+      tenant-aware admission policies and per-tenant report views key on
+      it (``None`` = untagged).
+    * ``turn_index`` — position within its session's conversation
+      (0 = opening turn).
+    * ``shared_prefix_len`` — leading prompt tokens shared with the
+      session's previous turn. The serving layers treat it as an upper
+      bound: the realized reuse is capped by what the previous turn's
+      cache actually holds, and is zero when prefix sharing is off or
+      nothing is parked for the session.
     """
 
     request_id: int
@@ -72,10 +87,21 @@ class Request:
     prompt_len: int
     gen_tokens: int
     session: int | None = None
+    tenant: str | None = None
+    turn_index: int = 0
+    shared_prefix_len: int = 0
 
     def __post_init__(self) -> None:
         if self.arrival < 0 or self.prompt_len < 1 or self.gen_tokens < 1:
             raise ValueError("invalid request parameters")
+        if self.turn_index < 0:
+            raise ValueError("turn_index must be >= 0")
+        if not 0 <= self.shared_prefix_len < self.prompt_len:
+            raise ValueError(
+                "shared_prefix_len must satisfy 0 <= prefix < prompt_len")
+        if self.shared_prefix_len and self.session is None:
+            raise ValueError(
+                "shared_prefix_len needs a session to share with")
 
     @property
     def work_tokens(self) -> int:
@@ -121,37 +147,6 @@ class WorkloadTrace:
         return sum(r.gen_tokens for r in self.requests)
 
 
-# Candidate arrivals per thinning round. Fixed (never adaptive) so the
-# accept/reject stream — and therefore the trace — is a pure function of
-# the seed, independent of how many rounds the target count takes.
-_THINNING_CHUNK = 4096
-
-
-def _thinned_arrivals(
-    rng: np.random.Generator,
-    num_requests: int,
-    rate_of: Callable[[np.ndarray], np.ndarray],
-    rate_max: float,
-) -> np.ndarray:
-    """First ``num_requests`` arrivals of the inhomogeneous Poisson
-    process with intensity ``rate_of(t) <= rate_max``, by chunked
-    vectorized thinning (Lewis-Shedler): candidates arrive at the
-    homogeneous ``rate_max`` and survive with probability
-    ``rate_of(t) / rate_max``."""
-    kept: list[np.ndarray] = []
-    total = 0
-    t = 0.0
-    while total < num_requests:
-        gaps = rng.exponential(1.0 / rate_max, size=_THINNING_CHUNK)
-        cand = t + np.cumsum(gaps)
-        t = float(cand[-1])
-        u = rng.random(size=_THINNING_CHUNK)
-        keep = cand[u * rate_max < rate_of(cand)]
-        kept.append(keep)
-        total += len(keep)
-    return np.concatenate(kept)[:num_requests]
-
-
 def synthesize_trace(
     *,
     num_requests: int,
@@ -159,6 +154,7 @@ def synthesize_trace(
     mean_prompt: int = 128,
     mean_gen: int = 32,
     num_sessions: int | None = None,
+    session_mode: str = "uniform",
     expert_skew: float | None = None,
     arrival_shape: str = "poisson",
     diurnal_amplitude: float = 0.8,
@@ -170,82 +166,80 @@ def synthesize_trace(
     """Synthesize a request trace with Poisson-ish lengths and a chosen
     arrival process.
 
-    ``arrival_shape`` selects the arrival process:
+    This is now a thin compat wrapper over :mod:`repro.scenarios`: the
+    arrival machinery lives in
+    :func:`repro.scenarios.arrivals.draw_arrivals` (``arrival_shape`` /
+    ``diurnal_*`` / ``burst_*`` knobs pass through unchanged — see its
+    docstring for the shapes), and richer workloads (multi-turn chat,
+    agentic loops, heavy tails, tenant mixes) come from the scenario
+    generators. Historical arguments keep producing bit-for-bit
+    identical traces.
 
-    * ``"poisson"`` (default) — homogeneous Poisson at ``arrival_rate``;
-      the historical behavior, bit-for-bit (same seed, same trace).
-    * ``"diurnal"`` — inhomogeneous Poisson with a sinusoidal intensity
-      ``arrival_rate * (1 + diurnal_amplitude * sin(2*pi*t / period))``:
-      a day/night load cycle. The *mean* rate stays ``arrival_rate``
-      (the sine averages out), so fixed-vs-autoscaled comparisons at
-      equal average cost are fair. ``diurnal_period`` defaults to half
-      the nominal trace span (two full cycles per trace).
-    * ``"flash_crowd"`` — ``arrival_rate`` baseline with ``num_bursts``
-      evenly spaced windows at ``burst_factor`` times the base rate
-      (each 4% of the nominal span wide): a link-from-the-frontpage
-      spike.
+    ``num_sessions`` tags requests with session ids for the fleet
+    layer's affinity routing; ``session_mode`` picks how:
 
-    The non-homogeneous shapes draw arrivals by chunked vectorized
-    thinning with a fixed chunk size, so every shape is a pure function
-    of the seed. ``num_sessions`` tags each request with a session id
-    drawn uniformly from ``range(num_sessions)`` (for the fleet layer's
-    affinity routing); ``None`` leaves requests unaffiliated.
+    * ``"uniform"`` (default, historical) — each request's session id is
+      drawn i.i.d. uniform from ``range(num_sessions)``. A "session" is
+      then just a routing tag: its requests have independent arrivals,
+      interleave arbitrarily, and carry no turn ordering or shared
+      prefix. Bit-for-bit the old behavior.
+    * ``"chat"`` — delegate to
+      :func:`repro.scenarios.chat_scenario`'s session machinery:
+      ``num_sessions`` conversations whose turns arrive *causally*
+      (each turn follows the previous turn's estimated completion) with
+      ``turn_index``/``shared_prefix_len`` set for prefix reuse. Draws
+      differ from uniform mode; ``arrival_rate`` becomes the session
+      arrival rate and ``arrival_shape`` must be ``"poisson"``.
+
     ``expert_skew`` stamps the trace with a Zipf-s gate skew (see
     :func:`repro.moe_placement.zipf_expert_probs`) so MoE benchmarks can
     regenerate the matching gate stream from the same seed. ``seed``
     takes an int or a live :class:`numpy.random.Generator` to thread one
     stream through a composite workflow (see :mod:`repro.rng`).
     """
+    # Function-local import: repro.scenarios builds WorkloadTrace objects
+    # from this module, so the package dependency points scenarios ->
+    # engine; the compat wrapper resolves its helpers lazily.
+    from ..scenarios import chat_scenario
+    from ..scenarios.arrivals import draw_arrivals
+
     if num_requests < 1 or arrival_rate <= 0:
         raise ValueError("num_requests >= 1 and arrival_rate > 0 required")
     if mean_prompt < 1 or mean_gen < 1:
         raise ValueError("mean lengths must be >= 1")
     if num_sessions is not None and num_sessions < 1:
         raise ValueError("num_sessions must be >= 1 when given")
+    if session_mode not in ("uniform", "chat"):
+        raise ValueError(
+            f"unknown session_mode {session_mode!r}; "
+            "choose 'uniform' or 'chat'")
     if expert_skew is not None and expert_skew < 0:
         raise ValueError("expert_skew must be >= 0 when given")
-    shapes = ("poisson", "diurnal", "flash_crowd")
-    if arrival_shape not in shapes:
-        raise ValueError(
-            f"unknown arrival_shape {arrival_shape!r}; choose from {shapes}")
+    if session_mode == "chat":
+        if num_sessions is None:
+            raise ValueError("session_mode='chat' requires num_sessions=")
+        if arrival_shape != "poisson":
+            raise ValueError(
+                "session_mode='chat' supports only arrival_shape='poisson' "
+                "(sessions arrive Poisson; turns follow causally)")
+        return chat_scenario(
+            num_sessions=num_sessions,
+            session_rate=arrival_rate,
+            mean_prompt=mean_prompt,
+            mean_gen=mean_gen,
+            num_requests=num_requests,
+            expert_skew=expert_skew,
+            seed=seed,
+        )
     rng = as_generator(seed)
-    nominal_span = num_requests / arrival_rate
-    if arrival_shape == "poisson":
-        # Historical draw order, preserved verbatim: existing seeds must
-        # keep producing the same traces.
-        gaps = rng.exponential(1.0 / arrival_rate, size=num_requests)
-        arrivals = np.cumsum(gaps)
-    elif arrival_shape == "diurnal":
-        if not 0.0 <= diurnal_amplitude <= 1.0:
-            raise ValueError("diurnal_amplitude must be in [0, 1]")
-        period = (nominal_span / 2.0 if diurnal_period is None
-                  else diurnal_period)
-        if period <= 0:
-            raise ValueError("diurnal_period must be > 0 when given")
-        omega = 2.0 * np.pi / period
-
-        def rate_of(t: np.ndarray) -> np.ndarray:
-            return arrival_rate * (1.0 + diurnal_amplitude * np.sin(omega * t))
-
-        arrivals = _thinned_arrivals(
-            rng, num_requests, rate_of,
-            arrival_rate * (1.0 + diurnal_amplitude))
-    else:  # flash_crowd
-        if burst_factor <= 1.0:
-            raise ValueError("burst_factor must be > 1")
-        if num_bursts < 1:
-            raise ValueError("num_bursts must be >= 1")
-        centers = np.array([(j + 0.5) / num_bursts * nominal_span
-                            for j in range(num_bursts)])
-        half_width = 0.02 * nominal_span
-
-        def rate_of(t: np.ndarray) -> np.ndarray:
-            in_burst = (np.abs(t[:, None] - centers[None, :])
-                        <= half_width).any(axis=1)
-            return arrival_rate * np.where(in_burst, burst_factor, 1.0)
-
-        arrivals = _thinned_arrivals(
-            rng, num_requests, rate_of, arrival_rate * burst_factor)
+    arrivals = draw_arrivals(
+        rng, num_requests, arrival_rate,
+        arrival_shape=arrival_shape,
+        diurnal_amplitude=diurnal_amplitude,
+        diurnal_period=diurnal_period,
+        burst_factor=burst_factor,
+        num_bursts=num_bursts,
+    )
     prompts = np.maximum(1, rng.poisson(mean_prompt, size=num_requests))
     gens = np.maximum(1, rng.poisson(mean_gen, size=num_requests))
     sessions = (None if num_sessions is None
@@ -265,9 +259,19 @@ class ServingReport(ReportStats):
     """Outcome of replaying one trace.
 
     Percentile/throughput views (``latency``, ``ttft``,
-    ``latency_percentile``, ``ttft_percentile``, ``tokens_per_second``)
-    come from :class:`~repro.engine.report_stats.ReportStats`, shared
-    with the fleet layer's report.
+    ``latency_percentile``, ``ttft_percentile``, ``tokens_per_second``,
+    and the per-tenant variants) come from
+    :class:`~repro.engine.report_stats.ReportStats`, shared with the
+    fleet layer's report.
+
+    The KV counters mirror the functional engine's paged allocator
+    (block-granular, all layers): ``kv_blocks_allocated`` are fresh
+    allocations over the whole replay, ``kv_blocks_saved`` the
+    allocations prefix sharing avoided (blocks inherited by fork),
+    ``peak_kv_blocks`` the high-water pool occupancy including parked
+    session caches. ``prefix_hits``/``prefix_hit_tokens`` count the
+    admissions that reused a parked prefix and the tokens they skipped
+    re-prefilling.
     """
 
     makespan: float
@@ -275,8 +279,123 @@ class ServingReport(ReportStats):
     first_token_times: dict[int, float]
     queue_delays: dict[int, float]
     total_tokens: int
+    prefix_hits: int = 0
+    prefix_hit_tokens: int = 0
+    kv_blocks_allocated: int = 0
+    kv_blocks_saved: int = 0
+    peak_kv_blocks: int = 0
     scheduler: Scheduler | None = field(default=None, compare=False)
     timeline: Timeline | None = field(default=None, compare=False)
+
+
+class _KvTracker:
+    """Analytical KV-block accounting mirroring the functional paged
+    allocator, including copy-on-write prefix sharing.
+
+    The functional engine's cache for a request retired after ``G``
+    tokens holds ``prompt + G - 1`` positions (the final emitted token
+    is never appended), occupying ``num_layers * ceil(positions /
+    block_size)`` pool blocks. With ``prefix_sharing`` on, a
+    session-tagged retiree's cache is *parked*; the session's next turn
+    forks it up to ``eff = min(shared_prefix_len, parked positions)``
+    tokens — inheriting the covering blocks by aliasing instead of
+    allocating them — and the parked parent is freed at the fork (its
+    remaining blocks return to the pool, so no copy-on-write fires in
+    this flow). The tracker replays exactly that arithmetic, so its
+    counters equal the functional allocator's measurements.
+
+    Stretch discipline: callers grow every live request (retirees
+    included — they participate in all of a stretch's steps) *before*
+    retiring, matching the functional order of operations within a
+    decode step; block usage is monotone inside a stretch, so the peak
+    is exact.
+    """
+
+    def __init__(
+        self,
+        requests,
+        *,
+        block_size: int = 16,
+        num_layers: int = 1,
+        prefix_sharing: bool = True,
+    ) -> None:
+        if block_size < 1 or num_layers < 1:
+            raise ValueError("block_size and num_layers must be >= 1")
+        self.block_size = block_size
+        self.num_layers = num_layers
+        self.prefix_sharing = prefix_sharing
+        self._by_id = {r.request_id: r for r in requests}
+        # session -> (parked cache positions, blocks it occupies)
+        self._parked: dict[int, tuple[int, int]] = {}
+        self._pos: dict[int, int] = {}  # live rid -> cached positions
+        self._used = 0
+        self.peak_blocks = 0
+        self.allocated = 0
+        self.hits = 0
+        self.hit_tokens = 0
+        self.saved_blocks = 0
+
+    def _blocks(self, positions: int) -> int:
+        return self.num_layers * (-(-positions // self.block_size))
+
+    def admit(self, rid: int) -> int:
+        """Account one admission; returns the effective shared prefix
+        (0 = full prefill) for prefix-aware prompt pricing."""
+        r = self._by_id[rid]
+        eff = 0
+        if (self.prefix_sharing and r.shared_prefix_len
+                and r.session in self._parked):
+            ctx, parked_blocks = self._parked.pop(r.session)
+            eff = min(r.shared_prefix_len, ctx)
+            # Fork: the child aliases the prefix blocks; the parked
+            # parent is freed, returning its suffix blocks to the pool.
+            self._used -= parked_blocks - self._blocks(eff)
+            self.hits += 1
+            self.hit_tokens += eff
+            self.saved_blocks += self._blocks(eff)
+        fresh = blocks_needed(r.prompt_len, block_size=self.block_size,
+                              num_layers=self.num_layers,
+                              shared_prefix_len=eff)
+        self._used += fresh
+        self.allocated += fresh
+        if self._used > self.peak_blocks:
+            self.peak_blocks = self._used
+        self._pos[rid] = r.prompt_len
+        return eff
+
+    def grow_all(self, steps: int) -> None:
+        """Every live request appends ``steps`` positions (one per
+        decode iteration of a stretch)."""
+        for rid, pos in self._pos.items():
+            delta = self._blocks(pos + steps) - self._blocks(pos)
+            self._used += delta
+            self.allocated += delta
+            self._pos[rid] = pos + steps
+        if self._used > self.peak_blocks:
+            self.peak_blocks = self._used
+
+    def retire(self, rid: int) -> None:
+        """Release (or park) a finished request's cache."""
+        pos = self._pos.pop(rid)
+        r = self._by_id[rid]
+        blocks = self._blocks(pos)
+        if self.prefix_sharing and r.session is not None:
+            prev = self._parked.get(r.session)
+            if prev is not None:  # newer turn supersedes the parked one
+                self._used -= prev[1]
+            self._parked[r.session] = (pos, blocks)
+        else:
+            self._used -= blocks
+
+    def reset_live(self) -> None:
+        """Drop all live (non-parked) accounting — a replica crash wipes
+        in-flight caches; parked state dies with them too."""
+        for pos in self._pos.values():
+            self._used -= self._blocks(pos)
+        self._pos.clear()
+        for _, blocks in self._parked.values():
+            self._used -= blocks
+        self._parked.clear()
 
 
 def batch_state_of(
@@ -316,6 +435,9 @@ def simulate_serving(
     max_batch: int,
     policy: str = "fcfs",
     detail: str = "auto",
+    kv_block_size: int = 16,
+    kv_num_layers: int = 1,
+    prefix_sharing: bool = True,
 ) -> ServingReport:
     """Replay ``trace`` through a continuous-batching server.
 
@@ -329,6 +451,15 @@ def simulate_serving(
     :class:`~repro.engine.costs.ZeroStepCost`, ...). The legacy
     ``prompt_time(batch, prompt_len)`` / ``step_time(batch)`` closure
     pair is still accepted in place of ``costs``.
+
+    ``prefix_sharing`` (with ``kv_block_size``/``kv_num_layers`` sizing
+    the mirrored paged pool) enables session prefix reuse: a
+    session-tagged request whose ``shared_prefix_len`` overlaps its
+    session's parked previous turn is priced as *incremental* prefill
+    (only the unshared suffix pays prompt FLOPs) and inherits the
+    prefix's KV blocks instead of re-allocating them. The report's KV
+    counters track the mirrored pool either way; traces without
+    ``shared_prefix_len`` tags price bit-for-bit as before.
 
     The replay is *event-compressed*: between scheduler-relevant events
     (the next arrival, the next length retirement) the batch composition
@@ -359,6 +490,8 @@ def simulate_serving(
     sched = Scheduler(max_batch, policy=policy)
     timeline = Timeline()
     requests = trace.requests
+    kv = _KvTracker(requests, block_size=kv_block_size,
+                    num_layers=kv_num_layers, prefix_sharing=prefix_sharing)
     cursor = 0  # arrival cursor: O(1) per drain, no per-call trace copy
     admit_at: dict[int, float] = {}
     now = 0.0
@@ -381,6 +514,7 @@ def simulate_serving(
                 prompt_len=r.prompt_len,
                 max_new_tokens=r.gen_tokens,
                 arrival=r.arrival,
+                tenant=r.tenant,
             ))
 
     while cursor < len(requests) or sched.num_waiting or sched.num_active:
@@ -399,11 +533,19 @@ def simulate_serving(
             s = admitted[0]
             delays[s.request_id] = now - s.arrival
             start = now
+            eff = kv.admit(s.request_id)
             # ``live_kv`` excludes the newcomer by construction: it is
-            # inserted only after its prompt pass is priced.
+            # inserted only after its prompt pass is priced. A prefix
+            # hit prices the unshared suffix only; ``eff == 0`` passes
+            # the scheduler's request through untouched (bit-for-bit the
+            # pre-sharing numbers).
+            shape = (PromptShape(s.prompt_len, shared_prefix_len=eff)
+                     if eff else s)
             now += cost_model.prompt_cost(
-                BatchState(tuple(live_kv.values())), s)
-            timeline.record("server", start, now, f"prefill r{s.request_id}")
+                BatchState(tuple(live_kv.values())), shape)
+            label = (f"prefill r{s.request_id} (+{eff} cached)" if eff
+                     else f"prefill r{s.request_id}")
+            timeline.record("server", start, now, label)
             if full:
                 timeline.record(f"req-{s.request_id}", s.arrival, start,
                                 "queued")
@@ -412,6 +554,7 @@ def simulate_serving(
             total_tokens += 1
             if sched.record_token(s.request_id) is not None:
                 finish[s.request_id] = now
+                kv.retire(s.request_id)
                 if full:
                     timeline.record(f"req-{s.request_id}", start, now,
                                     "decode")
@@ -455,8 +598,12 @@ def simulate_serving(
         else:
             timeline.record("server", start, now,
                             f"decode x{batch} ({n} steps)")
+        # Caches grow before retirement (a retiree participates in every
+        # step of the stretch — it retires *at* the last one).
+        kv.grow_all(n)
         for rid in retired:
             finish[rid] = now
+            kv.retire(rid)
             if full:
                 timeline.record(f"req-{rid}", admit_at[rid], now, "decode")
             del live_kv[rid]
@@ -469,6 +616,11 @@ def simulate_serving(
         first_token_times=first,
         queue_delays=delays,
         total_tokens=total_tokens,
+        prefix_hits=kv.hits,
+        prefix_hit_tokens=kv.hit_tokens,
+        kv_blocks_allocated=kv.allocated,
+        kv_blocks_saved=kv.saved_blocks,
+        peak_kv_blocks=kv.peak_blocks,
         scheduler=sched,
         timeline=timeline,
     )
@@ -482,6 +634,9 @@ def simulate_serving_reference(
     step_time: Callable[[int], float] | None = None,
     max_batch: int,
     policy: str = "fcfs",
+    kv_block_size: int = 16,
+    kv_num_layers: int = 1,
+    prefix_sharing: bool = True,
 ) -> ServingReport:
     """Per-step reference oracle for :func:`simulate_serving`.
 
@@ -489,7 +644,7 @@ def simulate_serving_reference(
     round-trip per decode iteration, ``batch_state_of`` tuple rebuild
     per pricing call, always-full timelines. The equivalence tests (and
     the speed benchmark's baseline leg) hold :func:`simulate_serving`
-    bit-for-bit against this.
+    bit-for-bit against this — including the prefix-sharing KV counters.
     """
     if max_batch < 1:
         raise ValueError("max_batch must be >= 1")
@@ -498,6 +653,8 @@ def simulate_serving_reference(
     sched = Scheduler(max_batch, policy=policy)
     timeline = Timeline()
     requests = trace.requests
+    kv = _KvTracker(requests, block_size=kv_block_size,
+                    num_layers=kv_num_layers, prefix_sharing=prefix_sharing)
     cursor = 0  # arrival cursor: O(1) per drain, no per-call trace copy
     admit_at: dict[int, float] = {}
     now = 0.0
@@ -516,6 +673,7 @@ def simulate_serving_reference(
                 prompt_len=r.prompt_len,
                 max_new_tokens=r.gen_tokens,
                 arrival=r.arrival,
+                tenant=r.tenant,
             ))
 
     while cursor < len(requests) or sched.num_waiting or sched.num_active:
@@ -534,15 +692,21 @@ def simulate_serving_reference(
             s = admitted[0]
             delays[s.request_id] = now - s.arrival
             start = now
+            eff = kv.admit(s.request_id)
+            shape = (PromptShape(s.prompt_len, shared_prefix_len=eff)
+                     if eff else s)
             now += cost_model.prompt_cost(
-                batch_state_of(sched, plens, exclude=s.request_id), s)
-            timeline.record("server", start, now, f"prefill r{s.request_id}")
+                batch_state_of(sched, plens, exclude=s.request_id), shape)
+            label = (f"prefill r{s.request_id} (+{eff} cached)" if eff
+                     else f"prefill r{s.request_id}")
+            timeline.record("server", start, now, label)
             timeline.record(f"req-{s.request_id}", s.arrival, start, "queued")
             admit_at[s.request_id] = now
             first[s.request_id] = now  # prompt pass yields token 1
             total_tokens += 1
             if sched.record_token(s.request_id) is not None:
                 finish[s.request_id] = now
+                kv.retire(s.request_id)
                 timeline.record(f"req-{s.request_id}", start, now, "decode")
             enqueue_arrived()
         if not sched.num_active:
@@ -554,9 +718,11 @@ def simulate_serving_reference(
         now += cost_model.decode_cost(batch_state_of(sched, plens))
         timeline.record("server", start, now, f"decode x{batch}")
         total_tokens += batch
+        kv.grow_all(1)  # every live cache appends this step's token
         for rid in sched.active:
             if sched.record_token(rid) is not None:
                 finish[rid] = now
+                kv.retire(rid)
                 timeline.record(f"req-{rid}", admit_at[rid], now, "decode")
         sched.advance()
 
@@ -566,6 +732,11 @@ def simulate_serving_reference(
         first_token_times=first,
         queue_delays=delays,
         total_tokens=total_tokens,
+        prefix_hits=kv.hits,
+        prefix_hit_tokens=kv.hit_tokens,
+        kv_blocks_allocated=kv.allocated,
+        kv_blocks_saved=kv.saved_blocks,
+        peak_kv_blocks=kv.peak_blocks,
         scheduler=sched,
         timeline=timeline,
     )

@@ -68,6 +68,16 @@ class FleetReport(ReportStats):
     tokens_discarded: int                 # crash-wasted tokens
     replica_stats: tuple[ReplicaStats, ...]
     routing: tuple[RoutingDecision, ...]
+    # KV accounting summed over every replica (past incarnations
+    # included); ``peak_kv_blocks`` sums per-replica peaks — each
+    # replica's pool is its own hardware, so the sum is the fleet's
+    # provisioning requirement. ``kv_dedup_ratio`` (from ReportStats)
+    # derives from allocated/saved.
+    prefix_hits: int = 0
+    prefix_hit_tokens: int = 0
+    kv_blocks_allocated: int = 0
+    kv_blocks_saved: int = 0
+    peak_kv_blocks: int = 0
     crash_steps: dict[int, int] = field(default_factory=dict, compare=False)
     schedulers: tuple[Scheduler, ...] = field(default=(), compare=False)
     timeline: Timeline | None = field(default=None, compare=False)

@@ -44,10 +44,21 @@ import numpy as np
 from ..autoscale.actions import AutoscaleEvent
 from ..autoscale.controller import Autoscaler, AutoscaleConfig, resolve_autoscaler
 from ..autoscale.signals import FleetSignals, ReplicaSnapshot
-from ..engine.costs import BatchState, StepCostModel, resolve_step_costs
+from ..engine.costs import (
+    BatchState,
+    PromptShape,
+    StepCostModel,
+    resolve_step_costs,
+)
 from ..engine.generation import GenerationSession
 from ..engine.scheduler import SchedRequest, Scheduler
-from ..engine.serving_sim import _RUN_CHUNK_STEPS, Request, WorkloadTrace, _resolve_detail
+from ..engine.serving_sim import (
+    _RUN_CHUNK_STEPS,
+    _KvTracker,
+    Request,
+    WorkloadTrace,
+    _resolve_detail,
+)
 from ..rng import SeedLike, as_generator
 from ..simcore.trace import Timeline
 from .faults import FaultPlan
@@ -70,7 +81,7 @@ class _Replica:
     actions so the fleet event loop can interleave replicas."""
 
     def __init__(self, index: int, *, max_batch: int, policy: str,
-                 costs: StepCostModel, full: bool = True,
+                 costs: StepCostModel, kv: _KvTracker, full: bool = True,
                  join_time: float = 0.0,
                  ttft_sink: list[tuple[float, float]] | None = None) -> None:
         self.index = index
@@ -78,6 +89,9 @@ class _Replica:
         self.policy = policy
         self.sched = Scheduler(max_batch, policy=policy)
         self.costs = costs
+        # Per-replica KV pool accounting: parked session prefixes live
+        # (and die) with this replica; counters span incarnations.
+        self.kv = kv
         self.full = full  # full timelines vs summary (aggregated) spans
         self.now = join_time
         self.alive = True
@@ -127,6 +141,7 @@ class _Replica:
                 prompt_len=r.prompt_len,
                 max_new_tokens=r.gen_tokens,
                 arrival=t,
+                tenant=r.tenant,
             ))
 
     # -- the action interface --------------------------------------------
@@ -168,11 +183,17 @@ class _Replica:
             s = admitted[0]
             self._mid_round = True
             start = self.now
+            eff = self.kv.admit(s.request_id)
             # ``_live_kv`` excludes the newcomer: inserted after pricing.
+            # A prefix hit prices the unshared suffix only; ``eff == 0``
+            # passes the scheduler's request through untouched.
+            shape = (PromptShape(s.prompt_len, shared_prefix_len=eff)
+                     if eff else s)
             self.now += self._cost(self.costs.prompt_cost(
-                BatchState(tuple(self._live_kv.values())), s))
-            self.timeline.record("server", start, self.now,
-                                 f"prefill r{s.request_id}")
+                BatchState(tuple(self._live_kv.values())), shape))
+            label = (f"prefill r{s.request_id} (+{eff} cached)" if eff
+                     else f"prefill r{s.request_id}")
+            self.timeline.record("server", start, self.now, label)
             if self.full:
                 self.timeline.record(f"req-{s.request_id}", s.arrival, start,
                                      "queued")
@@ -188,6 +209,7 @@ class _Replica:
             self.tokens += 1
             if self.sched.record_token(s.request_id) is not None:
                 self.finish[s.request_id] = self.now
+                self.kv.retire(s.request_id)
                 if self.full:
                     self.timeline.record(f"req-{s.request_id}", start,
                                          self.now, "decode")
@@ -237,8 +259,12 @@ class _Replica:
             else:
                 self.timeline.record("server", start, self.now,
                                      f"decode x{batch} ({n} steps)")
+            # Caches grow before retirement (a retiree participates in
+            # every step of the stretch — it retires *at* the last one).
+            self.kv.grow_all(n)
             for rid in retired:
                 self.finish[rid] = self.now
+                self.kv.retire(rid)
                 if self.full:
                     self.timeline.record(f"req-{rid}", self.admit_at[rid],
                                          self.now, "decode")
@@ -268,6 +294,10 @@ class _Replica:
                 self._mid_round = False
         self.alive = False
         self.crash_step = self.sched.step
+        # The machine's KV pool dies with it: in-flight caches *and*
+        # parked session prefixes are gone (counters survive — they
+        # describe work that really happened here).
+        self.kv.reset_live()
         t_requeue = max(self.now, t_fault)
         if self.seg_open is not None:
             self.segments.append((self.seg_open, t_requeue))
@@ -359,6 +389,9 @@ def simulate_fleet(
     routing: str | RoutingPolicy = "round_robin",
     fault_plan: FaultPlan | None = None,
     autoscaler: Autoscaler | AutoscaleConfig | None = None,
+    kv_block_size: int = 16,
+    kv_num_layers: int = 1,
+    prefix_sharing: bool = True,
     detail: str = "auto",
     _max_run_steps: int | None = None,
 ) -> FleetReport:
@@ -374,6 +407,16 @@ def simulate_fleet(
     to the survivors and restart from scratch; the run fails only if
     every replica is simultaneously dead (which
     :meth:`FaultPlan.validate_against` rejects up front).
+
+    Each replica carries its own analytical KV-block ledger (the
+    single-server :class:`~repro.engine.serving_sim.simulate_serving`
+    tracker, ``kv_block_size``/``kv_num_layers``-sized): with
+    ``prefix_sharing`` on, a session-tagged retiree's cache parks on its
+    replica and the session's next turn — if routed back there — forks
+    it, pricing only the unshared prompt suffix. A crash wipes the
+    replica's parked prefixes along with its in-flight caches. The
+    report sums hit/allocation counters over every replica and sums
+    per-replica peaks (each replica's pool is separate hardware).
 
     ``autoscaler`` — an :class:`~repro.autoscale.controller
     .AutoscaleConfig` or pre-built :class:`~repro.autoscale.controller
@@ -410,9 +453,14 @@ def simulate_fleet(
         scaler.bind(costs=cost_model, initial_replicas=num_replicas)
         ttft_sink = []
 
+    def make_tracker() -> _KvTracker:
+        return _KvTracker(trace.requests, block_size=kv_block_size,
+                          num_layers=kv_num_layers,
+                          prefix_sharing=prefix_sharing)
+
     replicas = [
         _Replica(i, max_batch=max_batch, policy=policy, costs=cost_model,
-                 full=full, ttft_sink=ttft_sink)
+                 kv=make_tracker(), full=full, ttft_sink=ttft_sink)
         for i in range(num_replicas)
     ]
     for i, (t, factor) in plan.slowdowns().items():
@@ -512,8 +560,8 @@ def simulate_fleet(
             t = joins.popleft()
             new_index = router.add_replica()
             rep = _Replica(new_index, max_batch=max_batch, policy=policy,
-                           costs=cost_model, full=full, join_time=t,
-                           ttft_sink=ttft_sink)
+                           costs=cost_model, kv=make_tracker(), full=full,
+                           join_time=t, ttft_sink=ttft_sink)
             replicas.append(rep)
             autoscale_log.append(AutoscaleEvent(
                 t, "join", new_index, "cold start complete"))
@@ -597,6 +645,11 @@ def simulate_fleet(
         tokens_discarded=tokens_discarded,
         replica_stats=tuple(rep.stats() for rep in replicas),
         routing=tuple(router.decisions),
+        prefix_hits=sum(rep.kv.hits for rep in replicas),
+        prefix_hit_tokens=sum(rep.kv.hit_tokens for rep in replicas),
+        kv_blocks_allocated=sum(rep.kv.allocated for rep in replicas),
+        kv_blocks_saved=sum(rep.kv.saved_blocks for rep in replicas),
+        peak_kv_blocks=sum(rep.kv.peak_blocks for rep in replicas),
         crash_steps={rep.index: rep.crash_step for rep in replicas
                      if rep.crash_step is not None},
         schedulers=tuple(rep.sched for rep in replicas),
@@ -639,8 +692,10 @@ class FleetFunctionalResult:
 
 def _replay_replica(model, trace: WorkloadTrace,
                     prompts: dict[int, np.ndarray], sched: Scheduler, *,
-                    max_batch: int, policy: str,
-                    crash_step: int | None) -> GenerationSession:
+                    max_batch: int, policy: str, crash_step: int | None,
+                    kv_block_size: int = 16,
+                    kv_pool_blocks: int | None = None,
+                    prefix_sharing: bool = False) -> GenerationSession:
     """Re-enqueue one analytical replica's requests into a real session
     at the recorded scheduler steps; the session's own scheduler then
     re-makes every admission/retirement decision."""
@@ -653,7 +708,9 @@ def _replay_replica(model, trace: WorkloadTrace,
              if e.kind == "enqueue"}
     steps = sorted(enq)
     session = GenerationSession(model, max_concurrency=max_batch,
-                                policy=policy)
+                                policy=policy, kv_block_size=kv_block_size,
+                                kv_pool_blocks=kv_pool_blocks,
+                                prefix_sharing=prefix_sharing)
     qi = 0
     while True:
         step = session.scheduler.step
@@ -661,9 +718,12 @@ def _replay_replica(model, trace: WorkloadTrace,
             break  # the replica died at this boundary; discard the rest
         while qi < len(steps) and steps[qi] <= step:
             for rid in sorted(enq[steps[qi]], key=order.__getitem__):
+                r = by_id[rid]
                 session.submit(prompts[rid],
-                               max_new_tokens=by_id[rid].gen_tokens,
-                               request_id=rid)
+                               max_new_tokens=r.gen_tokens,
+                               request_id=rid, session=r.session,
+                               tenant=r.tenant,
+                               shared_prefix_len=r.shared_prefix_len)
             qi += 1
         if not (session.num_active or session.num_waiting or qi < len(steps)):
             break
@@ -686,6 +746,9 @@ def run_fleet_functional(
     autoscaler: Autoscaler | AutoscaleConfig | None = None,
     prompts: dict[int, np.ndarray] | None = None,
     seed: SeedLike = 0,
+    kv_block_size: int = 16,
+    kv_pool_blocks: int | None = None,
+    prefix_sharing: bool = False,
     detail: str = "auto",
 ) -> FleetFunctionalResult:
     """Serve ``trace`` on real :class:`GenerationSession` replicas.
@@ -702,12 +765,26 @@ def run_fleet_functional(
     ``prompts`` maps request id to token ids (lengths must match the
     trace); omitted, they are synthesized deterministically from
     ``seed``.
+
+    ``prefix_sharing`` turns on copy-on-write prefix reuse in *both*
+    backends at once: each functional session parks and forks real
+    session caches (a prefix-hit request's leading tokens are adopted
+    from the parked turn, so its exact-output contract is against the
+    adopted prompt — see :meth:`GenerationSession.submit`), and the
+    analytical control plane runs the matching block ledger
+    (``kv_num_layers`` pinned to the model's layer count so the two
+    backends' block counters are directly comparable). It defaults off,
+    like :class:`GenerationSession` — the analytical-only
+    :func:`simulate_fleet` defaults on because there accounting is free
+    and changes no behavior.
     """
     report = simulate_fleet(
         trace, num_replicas=num_replicas, costs=costs,
         prompt_time=prompt_time, step_time=step_time, max_batch=max_batch,
         policy=policy, routing=routing, fault_plan=fault_plan,
-        autoscaler=autoscaler, detail=detail,
+        autoscaler=autoscaler, kv_block_size=kv_block_size,
+        kv_num_layers=model.config.layers, prefix_sharing=prefix_sharing,
+        detail=detail,
     )
     if prompts is None:
         prompts = synthesize_prompts(trace, vocab=model.config.vocab,
@@ -723,7 +800,10 @@ def run_fleet_functional(
     sessions = tuple(
         _replay_replica(model, trace, prompts, sched,
                         max_batch=max_batch, policy=policy,
-                        crash_step=report.crash_steps.get(i))
+                        crash_step=report.crash_steps.get(i),
+                        kv_block_size=kv_block_size,
+                        kv_pool_blocks=kv_pool_blocks,
+                        prefix_sharing=prefix_sharing)
         for i, sched in enumerate(report.schedulers)
     )
     # Pre-crash incarnations of recovered replicas replay the same way;
@@ -732,7 +812,10 @@ def run_fleet_functional(
         i: tuple(
             _replay_replica(model, trace, prompts, sched,
                             max_batch=max_batch, policy=policy,
-                            crash_step=crash_step)
+                            crash_step=crash_step,
+                            kv_block_size=kv_block_size,
+                            kv_pool_blocks=kv_pool_blocks,
+                            prefix_sharing=prefix_sharing)
             for sched, crash_step in incarnations
         )
         for i, incarnations in report.past_schedulers.items()

@@ -86,7 +86,7 @@ class SimDeterminismChecker(Checker):
         "simulation code (replays must be bit-for-bit)"
     )
     packages = ("repro.simcore", "repro.engine", "repro.fleet",
-                "repro.autoscale")
+                "repro.autoscale", "repro.scenarios")
 
     def check(self, mod: ModuleInfo) -> Iterator[Finding]:
         yield from self._check_calls(mod)

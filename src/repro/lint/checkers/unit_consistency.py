@@ -50,13 +50,16 @@ DEFAULT_UNIT_REGISTRY: dict[str, str] = {
 # suffix -> unit; longest-match-first so ``_per_s`` beats ``_s`` and the
 # cache-accounting suffixes (``_misses``) beat the ``_ms`` time suffix.
 _SUFFIX_UNITS: tuple[tuple[str, str], ...] = (
+    ("_dedup_ratio", "ratio"),
     ("_replicas", "count"),
     ("_hit_rate", "ratio"),
     ("_seconds", "seconds"),
     ("_gbytes", "gigabytes"),
     ("_misses", "count"),
     ("_tokens", "tokens"),
+    ("_blocks", "count"),
     ("_depth", "count"),
+    ("_turns", "count"),
     ("_steps", "steps"),
     ("_flops", "flops"),
     ("_bytes", "bytes"),
@@ -138,6 +141,7 @@ class UnitConsistencyChecker(Checker):
         "repro.hardware",
         "repro.moe_placement",
         "repro.autoscale",
+        "repro.scenarios",
     )
 
     def check(self, mod: ModuleInfo) -> Iterator[Finding]:

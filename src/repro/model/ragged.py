@@ -159,8 +159,22 @@ class RaggedDecoder:
 
     # -- public API ----------------------------------------------------------
 
-    def add_rows(self, prompts: list[np.ndarray]) -> tuple[list[int], np.ndarray]:
+    def add_rows(
+        self,
+        prompts: list[np.ndarray],
+        *,
+        prefixes: list | None = None,
+    ) -> tuple[list[int], np.ndarray]:
         """Prefill new sequences into the batch (one forward for all).
+
+        ``prefixes`` (optional, one entry per prompt) attaches a row to
+        an existing KV cache — typically a
+        :meth:`~repro.model.paged_kv.PagedKVCache.fork` holding a shared
+        conversation prefix. An entry of ``None`` builds a fresh cache
+        via the factory; a cache with ``seq_len() == n`` means the row's
+        first ``n`` prompt tokens are *already cached* (they must equal
+        the tokens the cache was built from), so only the remaining
+        suffix runs through the forward, at positions ``n..len-1``.
 
         Returns ``(row_ids, logits)``: stable ids for the new rows and
         each new row's next-token logits, shape ``(len(prompts), vocab)``.
@@ -170,20 +184,38 @@ class RaggedDecoder:
         lengths = np.array([np.asarray(p).size for p in prompts])
         if (lengths < 1).any():
             raise ValueError("every prompt needs at least one token")
-        b, max_len = len(prompts), int(lengths.max())
-        ids = np.zeros((b, max_len), dtype=int)
+        if prefixes is None:
+            prefixes = [None] * len(prompts)
+        if len(prefixes) != len(prompts):
+            raise ValueError("prefixes must match prompts one-to-one")
+        offsets = np.zeros(len(prompts), dtype=int)
+        for i, cache in enumerate(prefixes):
+            if cache is None:
+                continue
+            offsets[i] = cache.seq_len()
+            if not 0 < offsets[i] < lengths[i]:
+                raise ValueError(
+                    f"prefix cache of row {i} holds {offsets[i]} positions; "
+                    f"need 1 <= cached < prompt length {lengths[i]}")
+        new_lens = lengths - offsets
+        b, max_new = len(prompts), int(new_lens.max())
+        ids = np.zeros((b, max_new), dtype=int)
         for i, p in enumerate(prompts):
-            ids[i, : lengths[i]] = np.asarray(p).ravel()
-        idx = np.arange(max_len)
-        # Right padding keeps real tokens at their solo positions 0..len-1;
-        # pads carry in-range position ids but are masked out of attention.
-        positions = np.broadcast_to(idx, (b, max_len)).copy()
+            ids[i, : new_lens[i]] = np.asarray(p).ravel()[offsets[i]:]
+        idx = np.arange(max_new)
+        # Right padding keeps real tokens at their solo positions
+        # offset..len-1 (offset 0 for fresh rows); pads carry in-range
+        # position ids but are masked out of attention.
+        positions = offsets[:, None] + np.broadcast_to(idx, (b, max_new))
         rows = [
-            _Row(next(self._row_ids), self._cache_factory(), int(n))
-            for n in lengths
+            _Row(next(self._row_ids),
+                 prefixes[i] if prefixes[i] is not None
+                 else self._cache_factory(),
+                 int(n))
+            for i, n in enumerate(lengths)
         ]
         try:
-            logits = self._forward(ids, positions, rows, lengths)
+            logits = self._forward(ids, positions, rows, new_lens)
         except Exception:
             for row in rows:  # return any partially allocated blocks
                 free = getattr(row.cache, "free", None)
@@ -191,7 +223,7 @@ class RaggedDecoder:
                     free()
             raise
         self._rows.extend(rows)
-        return [r.row_id for r in rows], logits[np.arange(b), lengths - 1]
+        return [r.row_id for r in rows], logits[np.arange(b), new_lens - 1]
 
     def prefill(self, prompts: list[np.ndarray]) -> np.ndarray:
         """Fixed-batch entry point: process mixed-length prompts; returns
@@ -231,6 +263,17 @@ class RaggedDecoder:
             if free is not None:
                 free()
             self._rows.remove(row)
+
+    def detach_row(self, row_id: int):
+        """Retire a row but keep its cache alive; returns the cache.
+
+        The prefix-sharing engine parks a finished conversation turn's
+        cache this way so the next turn can :meth:`~repro.model.paged_kv
+        .PagedKVCache.fork` it instead of re-prefilling; the caller owns
+        the returned cache and must eventually ``free()`` it."""
+        row = self._find(row_id)
+        self._rows.remove(row)
+        return row.cache
 
     def generate(self, prompts: list[np.ndarray], num_tokens: int) -> list[np.ndarray]:
         """Greedy-decode ``num_tokens`` per row; returns full sequences.

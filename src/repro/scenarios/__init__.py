@@ -1,0 +1,39 @@
+"""Workload scenario zoo: arrival shapes and trace generators.
+
+:mod:`repro.scenarios.arrivals` holds the arrival-process machinery
+(Poisson / diurnal / flash-crowd, moved here from
+``engine/serving_sim.py``); :mod:`repro.scenarios.generators` builds
+full :class:`~repro.engine.serving_sim.WorkloadTrace` workloads on top —
+multi-turn chat with shared-prefix KV reuse, agentic loops, heavy-tailed
+lengths, and multi-tenant mixes with per-tenant SLOs.
+"""
+
+from .arrivals import ARRIVAL_SHAPES, draw_arrivals, thinned_arrivals
+from .generators import (
+    SCENARIOS,
+    TenantSpec,
+    agentic_scenario,
+    chat_scenario,
+    heavy_tailed_scenario,
+    make_scenario,
+    multi_tenant_scenario,
+    strip_prefix_sharing,
+    tenant_policy,
+    tenant_slo_summary,
+)
+
+__all__ = [
+    "ARRIVAL_SHAPES",
+    "draw_arrivals",
+    "thinned_arrivals",
+    "SCENARIOS",
+    "TenantSpec",
+    "agentic_scenario",
+    "chat_scenario",
+    "heavy_tailed_scenario",
+    "make_scenario",
+    "multi_tenant_scenario",
+    "strip_prefix_sharing",
+    "tenant_policy",
+    "tenant_slo_summary",
+]

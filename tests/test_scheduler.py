@@ -12,12 +12,18 @@ from repro.engine import (
     WorkloadTrace,
     simulate_serving,
 )
+from repro.engine.scheduler import (
+    ADMISSION_POLICIES,
+    TenantFairShare,
+    TenantPriority,
+)
 from repro.model import DenseTransformer, ModelConfig
 
 
-def _req(rid, prompt_len=4, max_new=3, arrival=0.0):
+def _req(rid, prompt_len=4, max_new=3, arrival=0.0, tenant=None):
     return SchedRequest(request_id=rid, prompt_len=prompt_len,
-                        max_new_tokens=max_new, arrival=arrival)
+                        max_new_tokens=max_new, arrival=arrival,
+                        tenant=tenant)
 
 
 class TestAdmissionPolicies:
@@ -52,6 +58,74 @@ class TestAdmissionPolicies:
     def test_unknown_policy_rejected(self):
         with pytest.raises(ValueError, match="unknown policy"):
             Scheduler(1, policy="lifo")
+
+    def test_registry_exposes_tenant_fair(self):
+        assert "tenant_fair" in ADMISSION_POLICIES
+        assert getattr(ADMISSION_POLICIES["tenant_fair"], "tenant_aware",
+                       False)
+
+
+class TestTenantPolicies:
+    def test_fair_share_balances_held_slots(self):
+        """With tenant A already holding both slots, the next admission
+        goes to B even though A's request queued first."""
+        s = Scheduler(3, policy=TenantFairShare())
+        s.enqueue(_req(0, tenant="a"))
+        s.enqueue(_req(1, tenant="a"))
+        s.enqueue(_req(2, tenant="a"))
+        s.enqueue(_req(3, tenant="b"))
+        admitted = s.admit()
+        # Round-robin by load: a (0 held), b (0 vs 1), then a again.
+        assert [(r.request_id, r.tenant) for r in admitted] == [
+            (0, "a"), (3, "b"), (1, "a")]
+
+    def test_fair_share_weights_bias_shares(self):
+        """weight 2 tenants absorb two slots per one of weight 1."""
+        pick = TenantFairShare(weights={"big": 2.0, "small": 1.0})
+        s = Scheduler(3, policy=pick)
+        for rid, t in [(0, "small"), (1, "big"), (2, "big"), (3, "small")]:
+            s.enqueue(_req(rid, tenant=t))
+        admitted = s.admit()
+        # loads: small 0/1 vs big 0/2 -> tie by queue order (0 first);
+        # then big 0/2 beats small 1/1 twice.
+        assert [r.request_id for r in admitted] == [0, 1, 2]
+
+    def test_fair_share_slot_caps_stop_admission(self):
+        pick = TenantFairShare(slot_caps={"a": 1})
+        s = Scheduler(4, policy=pick)
+        for rid in range(3):
+            s.enqueue(_req(rid, tenant="a"))
+        admitted = s.admit()
+        assert [r.request_id for r in admitted] == [0]
+        assert s.num_waiting == 2  # capped, not dropped
+        # A retirement frees the capped tenant's slot.
+        s.record_token(0, token=None)
+        s.record_token(0)
+        s.record_token(0)
+        assert s.num_active == 0
+        assert [r.request_id for r in s.admit()] == [1]
+
+    def test_fair_share_untagged_requests_pool_under_default(self):
+        s = Scheduler(2, policy=TenantFairShare())
+        s.enqueue(_req(0))
+        s.enqueue(_req(1, tenant="a"))
+        assert [r.request_id for r in s.admit()] == [0, 1]
+
+    def test_priority_policy_prefers_high_priority_tenants(self):
+        pick = TenantPriority(priorities={"gold": 2.0, "free": 0.0})
+        s = Scheduler(2, policy=pick)
+        for rid, t in [(0, "free"), (1, "free"), (2, "gold")]:
+            s.enqueue(_req(rid, tenant=t))
+        admitted = s.admit()
+        assert [r.request_id for r in admitted] == [2, 0]
+
+    def test_tenant_policies_validate(self):
+        with pytest.raises(ValueError):
+            TenantFairShare(weights={"a": 0.0})
+        with pytest.raises(ValueError):
+            TenantFairShare(default_weight=-1.0)
+        with pytest.raises(ValueError):
+            TenantFairShare(slot_caps={"a": 0})
 
 
 class TestLifecycle:

@@ -328,3 +328,65 @@ class TestArrivalShapes:
         assert all(r.prompt_len >= 1 and r.gen_tokens >= 1
                    for r in t.requests)
         assert {r.session for r in t.requests} <= {0, 1, 2, 3}
+
+
+class TestWorkloadTraceEdges:
+    """Degenerate traces and the scenario-zoo metadata fields."""
+
+    def test_single_request_trace_has_zero_duration(self):
+        trace = WorkloadTrace((Request(0, 2.0, 6, 3),))
+        assert trace.duration == 0.0
+        prompt_t, step_t = unit_costs(prompt_cost=1.0, step_cost=0.1)
+        rep = simulate_serving(trace, prompt_time=prompt_t,
+                               step_time=step_t, max_batch=4)
+        # Serving starts at the lone arrival, not at t=0.
+        assert rep.finish_times[0] == pytest.approx(2.0 + 1.0 + 2 * 0.1)
+        assert rep.total_tokens == 3
+        assert rep.tokens_per_second > 0
+
+    def _tagged_trace(self):
+        # The follow-up turn arrives well after its parent retires, so
+        # the parked session cache is there to hit.
+        return WorkloadTrace((
+            Request(0, 0.0, 8, 3, session=0, tenant="gold", turn_index=0),
+            Request(1, 0.1, 4, 2, tenant="free"),
+            Request(2, 4.0, 12, 3, session=0, tenant="gold", turn_index=1,
+                    shared_prefix_len=10),
+        ))
+
+    def test_tenant_fields_survive_analytical_fleet(self):
+        from repro.fleet.sim import simulate_fleet
+
+        trace = self._tagged_trace()
+        prompt_t, step_t = unit_costs()
+        rep = simulate_fleet(trace, num_replicas=2, prompt_time=prompt_t,
+                             step_time=step_t, max_batch=2)
+        assert rep.tenants(trace) == ["gold", "free"]
+        assert [r.turn_index for r in rep.tenant_requests(trace, "gold")] \
+            == [0, 1]
+        gold = rep.tenant_latency_percentile(trace, "gold", 99)
+        free = rep.tenant_latency_percentile(trace, "free", 99)
+        assert gold > 0 and free > 0
+        assert rep.prefix_hits == 1
+        assert rep.prefix_hit_tokens == 10
+
+    def test_tenant_fields_survive_functional_fleet(self):
+        from repro.fleet.sim import run_fleet_functional
+        from repro.model import DenseTransformer, ModelConfig
+
+        trace = self._tagged_trace()
+        cfg = ModelConfig(name="edge-rt", hidden=32, layers=2, heads=4,
+                          vocab=53, max_seq=64)
+        model = DenseTransformer(cfg, seed=11)
+        prompt_t, step_t = unit_costs()
+        res = run_fleet_functional(model, trace, num_replicas=1,
+                                   prompt_time=prompt_t, step_time=step_t,
+                                   max_batch=2, prefix_sharing=True)
+        sess = res.sessions[0]
+        for r in trace.requests:
+            got = sess.result(r.request_id)
+            assert got.tenant == r.tenant
+            assert got.session == r.session
+            assert got.shared_prefix_len == r.shared_prefix_len
+        assert sess.result(2).prefix_reused > 0
+        assert res.report.tenants(trace) == ["gold", "free"]
