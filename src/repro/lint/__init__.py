@@ -11,9 +11,12 @@ or programmatically::
     assert result.ok, [f.format() for f in result.findings]
 
 See :mod:`repro.lint.core` for the framework (findings, baselines,
-suppression comments) and :mod:`repro.lint.checkers` for the rules
+suppression comments), :mod:`repro.lint.checkers` for the rules
 (RP001 collective-symmetry, RP002 unit-consistency, RP003
-sim-determinism, RP004 api-hygiene).
+sim-determinism, RP004 api-hygiene, RP005 memo-key-completeness,
+RP006 resource-pair-discipline, RP007 unit-flow, RP008
+backend-pair-drift), and :mod:`repro.lint.project` for the
+whole-program pass the RP005-RP008 rules consume.
 """
 
 from .checkers import all_checkers, select_checkers
@@ -24,11 +27,13 @@ from .core import (
     LintError,
     LintResult,
     ModuleInfo,
+    ProjectChecker,
     iter_python_files,
     load_file,
     load_source,
     run_lint,
 )
+from .project import ProjectInfo
 
 __all__ = [
     "Baseline",
@@ -37,6 +42,8 @@ __all__ = [
     "LintError",
     "LintResult",
     "ModuleInfo",
+    "ProjectChecker",
+    "ProjectInfo",
     "all_checkers",
     "iter_python_files",
     "load_file",

@@ -34,8 +34,9 @@ def build_parser() -> argparse.ArgumentParser:
         "paths", nargs="*", default=["src/repro"],
         help="files or directories to lint (default: src/repro)")
     parser.add_argument(
-        "--format", choices=("text", "json"), default="text",
-        help="report format (default: text)")
+        "--format", choices=("text", "json", "sarif"), default="text",
+        help="report format (default: text); sarif emits a SARIF 2.1.0 "
+             "log for code-scanning UIs")
     parser.add_argument(
         "--output", metavar="FILE",
         help="write the report to FILE instead of stdout "
@@ -53,6 +54,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--write-baseline", action="store_true",
         help="write every current finding to the baseline file and exit 0")
+    parser.add_argument(
+        "--no-project", action="store_true",
+        help="skip the whole-program pass (project-graph checkers "
+             "RP005-RP008); per-module rules still run")
     parser.add_argument(
         "--list-checkers", action="store_true",
         help="list registered checkers and exit")
@@ -84,7 +89,8 @@ def main(argv: list[str] | None = None) -> int:
                 return 2
 
     try:
-        result = run_lint(args.paths, checkers, baseline=baseline)
+        result = run_lint(args.paths, checkers, baseline=baseline,
+                          project=not args.no_project)
     except LintError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -97,6 +103,10 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.format == "json":
         report = json.dumps(result.to_dict(), indent=2) + "\n"
+    elif args.format == "sarif":
+        from .sarif import to_sarif
+        report = json.dumps(to_sarif(result, checkers), indent=2,
+                            sort_keys=True) + "\n"
     else:
         lines = [f.format() for f in result.findings]
         if result.baselined:

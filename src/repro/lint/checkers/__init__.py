@@ -11,8 +11,22 @@ Codes are stable and grep-able:
 * **RP004** ``api-hygiene`` — mutable default arguments and ``__all__``
   drift in package ``__init__`` files.
 
-Adding a checker: subclass :class:`repro.lint.core.Checker`, give it a
-fresh ``RPnnn`` code, and append it to :func:`all_checkers`.
+The second four need the whole-program pass
+(:class:`repro.lint.project.ProjectInfo`) and subclass
+:class:`repro.lint.core.ProjectChecker`:
+
+* **RP005** ``memo-key-completeness`` — an instance-lifetime cache key
+  omits an input the memoized computation reads.
+* **RP006** ``resource-pair-discipline`` — a BlockAllocator
+  alloc/share or cache fork leaks (or double-frees) along some path.
+* **RP007** ``unit-flow`` — RP002's suffix units enforced across call
+  boundaries: arguments onto parameters, return units onto targets.
+* **RP008** ``backend-pair-drift`` — registered analytical/functional
+  and compressed/oracle seam pairs drifted in signature or defaults.
+
+Adding a checker: subclass :class:`repro.lint.core.Checker` (or
+``ProjectChecker`` if it needs cross-module facts), give it a fresh
+``RPnnn`` code, and append it to :func:`all_checkers`.
 """
 
 from __future__ import annotations
@@ -23,12 +37,23 @@ from .collective_symmetry import CollectiveSymmetryChecker
 from .determinism import SimDeterminismChecker
 from .unit_consistency import UnitConsistencyChecker
 
+# project-pass checkers import ..project, which itself leans on
+# unit_consistency — keep these imports after the per-module battery
+from .memo_keys import MemoKeyChecker
+from .pair_drift import PairDriftChecker
+from .resource_pairs import ResourcePairChecker
+from .unit_flow import UnitFlowChecker
+
 __all__ = [
     "ApiHygieneChecker",
     "Checker",
     "CollectiveSymmetryChecker",
+    "MemoKeyChecker",
+    "PairDriftChecker",
+    "ResourcePairChecker",
     "SimDeterminismChecker",
     "UnitConsistencyChecker",
+    "UnitFlowChecker",
     "all_checkers",
     "select_checkers",
 ]
@@ -41,6 +66,10 @@ def all_checkers() -> list[Checker]:
         UnitConsistencyChecker(),
         SimDeterminismChecker(),
         ApiHygieneChecker(),
+        MemoKeyChecker(),
+        ResourcePairChecker(),
+        UnitFlowChecker(),
+        PairDriftChecker(),
     ]
 
 

@@ -9,16 +9,25 @@ a small AST framework (this module) plus a battery of checkers under
 
 Vocabulary:
 
-* :class:`Finding` — one diagnostic: code, message, location.
+* :class:`Finding` — one diagnostic: code, message, location, and an
+  ``occurrence`` index distinguishing identical findings in one file.
 * :class:`Checker` — a rule. Subclasses implement :meth:`Checker.check`
   over a parsed :class:`ModuleInfo` and yield findings.
+* :class:`ProjectChecker` — a whole-program rule. Subclasses implement
+  :meth:`ProjectChecker.check_project` over a
+  :class:`repro.lint.project.ProjectInfo` (symbol table, import graph,
+  call graph, per-function summaries) built from *every* linted module
+  at once — the layer the interprocedural rules (RP005–RP008) run on.
 * :class:`Baseline` — a committed JSON file of *accepted* findings
   (each carrying a justification); matching findings are reported
   separately and do not fail the run. New debt therefore fails CI while
   grandfathered debt stays visible.
 * suppression comments — ``# repro-lint: disable=RP001`` (or a
   comma-separated list, or no ``=`` part to disable every rule) on the
-  flagged line silences it in place.
+  flagged line silences it in place. For a multi-line statement the
+  comment may sit on the statement's first or last physical line
+  (decorator lines included), so wrapped and decorated statements can
+  be silenced too.
 
 The CLI lives in :mod:`repro.lint.__main__`; run it as
 ``python -m repro.lint src/repro``.
@@ -29,7 +38,7 @@ from __future__ import annotations
 import ast
 import json
 import re
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Iterable, Iterator, Sequence
 
@@ -40,6 +49,7 @@ __all__ = [
     "LintError",
     "LintResult",
     "ModuleInfo",
+    "ProjectChecker",
     "iter_python_files",
     "load_file",
     "load_source",
@@ -59,18 +69,28 @@ class LintError(Exception):
 
 @dataclass(frozen=True, order=True)
 class Finding:
-    """One diagnostic produced by a checker."""
+    """One diagnostic produced by a checker.
+
+    ``occurrence`` is the 0-based index among findings sharing the same
+    ``(code, path, message)`` in one run, in (line, col) order. It keeps
+    the fingerprints of *identical* findings in one file distinct, so
+    baselining one of them does not silently baseline them all.
+    """
 
     path: str
     line: int
     col: int
     code: str
     message: str
+    occurrence: int = 0
 
     def fingerprint(self) -> str:
         """Line-insensitive identity used for baseline matching (lines
-        drift on every edit; code+path+message rarely do)."""
-        return f"{self.code}|{self.path}|{self.message}"
+        drift on every edit; code+path+message rarely do). Repeated
+        identical findings are disambiguated by their occurrence index
+        (``...|#2`` for the second, and so on)."""
+        base = f"{self.code}|{self.path}|{self.message}"
+        return base if self.occurrence == 0 else f"{base}|#{self.occurrence + 1}"
 
     def format(self) -> str:
         return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
@@ -82,6 +102,7 @@ class Finding:
             "col": self.col,
             "code": self.code,
             "message": self.message,
+            "occurrence": self.occurrence,
         }
 
 
@@ -98,6 +119,10 @@ class ModuleInfo:
     unit_notes: dict[str, str] = field(default_factory=dict)
     # line number -> codes disabled there (empty set = all codes)
     suppressions: dict[int, set[str]] = field(default_factory=dict)
+    # physical (first, last) line spans of statements, innermost last;
+    # lets a suppression on a wrapped statement's first or last line
+    # silence a finding reported anywhere inside the span
+    stmt_spans: list[tuple[int, int]] = field(default_factory=list)
 
     @property
     def is_package_init(self) -> bool:
@@ -110,11 +135,27 @@ class ModuleInfo:
             for p in packages
         )
 
-    def suppressed(self, finding: Finding) -> bool:
-        codes = self.suppressions.get(finding.line)
+    def _disabled_at(self, line: int, code: str) -> bool:
+        codes = self.suppressions.get(line)
         if codes is None:
             return False
-        return not codes or finding.code in codes
+        return not codes or code in codes
+
+    def suppressed(self, finding: Finding) -> bool:
+        if not self.suppressions:
+            return False
+        if self._disabled_at(finding.line, finding.code):
+            return True
+        # Multi-line statements: honor a suppression on the statement's
+        # first or last physical line (a finding on a decorated def or a
+        # wrapped expression is otherwise unsilenceable inline).
+        for first, last in self.stmt_spans:
+            if first <= finding.line <= last and (
+                self._disabled_at(first, finding.code)
+                or self._disabled_at(last, finding.code)
+            ):
+                return True
+        return False
 
 
 class Checker:
@@ -145,6 +186,25 @@ class Checker:
             code=self.code,
             message=message,
         )
+
+
+class ProjectChecker(Checker):
+    """Base class for a whole-program rule.
+
+    Unlike a per-module :class:`Checker`, a project checker sees the
+    entire linted tree at once through a
+    :class:`repro.lint.project.ProjectInfo` (project symbol table,
+    import graph, call graph, per-function summaries) and can therefore
+    reason across call boundaries. :attr:`Checker.packages` still
+    scopes which modules the rule *reports on*; the project graph
+    always covers every linted file.
+    """
+
+    def check(self, mod: ModuleInfo) -> Iterator[Finding]:
+        return iter(())  # the per-module pass is a no-op
+
+    def check_project(self, project: "ProjectInfo") -> Iterator[Finding]:  # noqa: F821
+        raise NotImplementedError
 
 
 # -- loading ---------------------------------------------------------------
@@ -179,6 +239,46 @@ def _scan_comments(lines: list[str]) -> tuple[dict[int, set[str]], dict[str, str
     return suppressions, unit_notes
 
 
+def _statement_spans(tree: ast.Module) -> list[tuple[int, int]]:
+    """Multi-line ``(first, last)`` physical spans of statements, for
+    suppression matching.
+
+    Simple statements span their full extent (a wrapped call, a
+    parenthesized assignment). Compound statements span only their
+    *header* — decorators through the ``def``/``class`` line, or the
+    ``if``/``while``/``for``/``with`` line through the end of its test —
+    so a trailing suppression never swallows a whole body.
+    """
+    spans: list[tuple[int, int]] = []
+
+    def header_end(node: ast.stmt) -> int:
+        if isinstance(node, (ast.If, ast.While)):
+            return node.test.end_lineno or node.lineno
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            return node.iter.end_lineno or node.lineno
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            return max((i.context_expr.end_lineno or node.lineno)
+                       for i in node.items)
+        return node.lineno  # def/class/try: the header line itself
+
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.stmt):
+            continue
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            first = min([node.lineno]
+                        + [d.lineno for d in node.decorator_list])
+            last = node.lineno
+        elif isinstance(node, (ast.If, ast.While, ast.For, ast.AsyncFor,
+                               ast.With, ast.AsyncWith, ast.Try)):
+            first, last = node.lineno, header_end(node)
+        else:
+            first, last = node.lineno, node.end_lineno or node.lineno
+        if first != last:
+            spans.append((first, last))
+    return spans
+
+
 def load_source(
     source: str, *, module: str = "fixture", path: str = "<fixture>"
 ) -> ModuleInfo:
@@ -199,6 +299,7 @@ def load_source(
         tree=tree,
         unit_notes=unit_notes,
         suppressions=suppressions,
+        stmt_spans=_statement_spans(tree),
     )
 
 
@@ -274,7 +375,23 @@ class Baseline:
         )
 
     def fingerprints(self) -> set[str]:
-        return {f"{e['code']}|{e['path']}|{e['message']}" for e in self.entries}
+        """Fingerprints of every entry, occurrence-indexed.
+
+        An entry may pin its index explicitly (``"occurrence": 1`` for
+        the second identical finding); entries without one are numbered
+        by their position among same-``(code, path, message)`` entries,
+        so legacy baselines keep matching and duplicated entries cover
+        the second, third, ... occurrences rather than collapsing."""
+        out: set[str] = set()
+        counters: dict[str, int] = {}
+        for e in self.entries:
+            base = f"{e['code']}|{e['path']}|{e['message']}"
+            occurrence = e.get("occurrence")
+            if occurrence is None:
+                occurrence = counters.get(base, 0)
+            counters[base] = max(counters.get(base, 0), occurrence) + 1
+            out.add(base if occurrence == 0 else f"{base}|#{occurrence + 1}")
+        return out
 
     @classmethod
     def from_findings(
@@ -317,29 +434,62 @@ class LintResult:
         }
 
 
+def _assign_occurrences(findings: list[Finding]) -> list[Finding]:
+    """Number findings sharing a ``(path, code, message)`` in (line,
+    col) order so their fingerprints stay distinct."""
+    groups: dict[tuple[str, str, str], list[Finding]] = {}
+    for f in findings:
+        groups.setdefault((f.path, f.code, f.message), []).append(f)
+    out: list[Finding] = []
+    for group in groups.values():
+        group.sort(key=lambda f: (f.line, f.col))
+        out.extend(replace(f, occurrence=i) for i, f in enumerate(group))
+    return out
+
+
 def run_lint(
     paths: Iterable[Path | str],
     checkers: Sequence[Checker],
     *,
     baseline: Baseline | None = None,
     root: Path | str | None = None,
+    project: bool = True,
 ) -> LintResult:
-    """Run ``checkers`` over every python file under ``paths``."""
+    """Run ``checkers`` over every python file under ``paths``.
+
+    Per-module checkers see one file at a time; :class:`ProjectChecker`
+    subclasses run afterwards against a
+    :class:`~repro.lint.project.ProjectInfo` built over *all* loaded
+    modules (disable with ``project=False``).
+    """
     result = LintResult()
     known = baseline.fingerprints() if baseline is not None else set()
+    module_checkers = [c for c in checkers if not isinstance(c, ProjectChecker)]
+    project_checkers = ([c for c in checkers if isinstance(c, ProjectChecker)]
+                        if project else [])
+    mods: list[ModuleInfo] = []
+    raw: list[Finding] = []
     for path in iter_python_files(paths):
         mod = load_file(path, root=root)
+        mods.append(mod)
         result.files_checked += 1
-        for checker in checkers:
-            if not checker.applies_to(mod):
-                continue
-            for finding in checker.check(mod):
-                if mod.suppressed(finding):
-                    result.suppressed.append(finding)
-                elif finding.fingerprint() in known:
-                    result.baselined.append(finding)
-                else:
-                    result.findings.append(finding)
+        for checker in module_checkers:
+            if checker.applies_to(mod):
+                raw.extend(checker.check(mod))
+    if project_checkers:
+        from .project import ProjectInfo  # late: project.py imports core
+        info = ProjectInfo.build(mods)
+        for checker in project_checkers:
+            raw.extend(checker.check_project(info))
+    by_path = {mod.display_path: mod for mod in mods}
+    for finding in _assign_occurrences(raw):
+        mod = by_path.get(finding.path)
+        if mod is not None and mod.suppressed(finding):
+            result.suppressed.append(finding)
+        elif finding.fingerprint() in known:
+            result.baselined.append(finding)
+        else:
+            result.findings.append(finding)
     result.findings.sort()
     result.baselined.sort()
     result.suppressed.sort()

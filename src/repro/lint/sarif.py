@@ -1,0 +1,86 @@
+"""SARIF 2.1.0 serialization for lint results.
+
+SARIF (Static Analysis Results Interchange Format) is the interchange
+schema code-scanning UIs ingest — GitHub's security tab renders it as
+inline annotations on PRs. The mapping is deliberately small: one run,
+one driver (``repro-lint``), one rule per checker code, one result per
+*new* finding. Baselined findings are emitted with
+``baselineState: "unchanged"`` so viewers can fold them away without
+us maintaining two report paths; suppressed findings don't appear at
+all (they are already invisible to the exit code).
+
+Only plain-JSON data goes in, so the output is stable under
+``json.dumps(..., sort_keys=True)`` — handy for golden tests.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .core import Checker, Finding, LintResult
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                "master/Schemata/sarif-schema-2.1.0.json")
+
+__all__ = ["SARIF_SCHEMA", "SARIF_VERSION", "to_sarif"]
+
+
+def _rule(checker: "Checker") -> dict:
+    return {
+        "id": checker.code,
+        "name": checker.name,
+        "shortDescription": {"text": checker.name},
+        "fullDescription": {"text": checker.description},
+        "defaultConfiguration": {"level": "warning"},
+    }
+
+
+def _result(finding: "Finding", *, baseline_state: str | None) -> dict:
+    out = {
+        "ruleId": finding.code,
+        "level": "warning",
+        "message": {"text": finding.message},
+        "locations": [{
+            "physicalLocation": {
+                "artifactLocation": {
+                    "uri": finding.path.replace("\\", "/"),
+                    "uriBaseId": "SRCROOT",
+                },
+                "region": {
+                    "startLine": max(finding.line, 1),
+                    "startColumn": finding.col + 1,
+                },
+            },
+        }],
+        # the occurrence-aware fingerprint lets scanners track a finding
+        # across commits even when its line number moves
+        "partialFingerprints": {"reproLint/v1": finding.fingerprint()},
+    }
+    if baseline_state is not None:
+        out["baselineState"] = baseline_state
+    return out
+
+
+def to_sarif(result: "LintResult", checkers: Iterable["Checker"]) -> dict:
+    """Render ``result`` as a SARIF ``log`` dict (caller serializes)."""
+    results = [_result(f, baseline_state="new") for f in result.findings]
+    results += [_result(f, baseline_state="unchanged")
+                for f in result.baselined]
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "repro-lint",
+                    "informationUri":
+                        "https://example.invalid/repro-lint",
+                    "rules": [_rule(c) for c in checkers],
+                },
+            },
+            "originalUriBaseIds": {"SRCROOT": {"uri": "file:///"}},
+            "results": results,
+        }],
+    }

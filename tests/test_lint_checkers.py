@@ -15,10 +15,16 @@ from repro.lint import all_checkers, load_source
 from repro.lint.checkers import (
     ApiHygieneChecker,
     CollectiveSymmetryChecker,
+    MemoKeyChecker,
+    PairDriftChecker,
+    ResourcePairChecker,
     SimDeterminismChecker,
     UnitConsistencyChecker,
+    UnitFlowChecker,
     select_checkers,
 )
+from repro.lint.checkers.pair_drift import SeamPair
+from repro.lint.project import ProjectInfo
 
 
 def lint_snippet(checker, source, *, module, path="fixture.py"):
@@ -26,6 +32,26 @@ def lint_snippet(checker, source, *, module, path="fixture.py"):
     if not checker.applies_to(mod):
         return []
     return list(checker.check(mod))
+
+
+def lint_project(checker, sources):
+    """Run a ProjectChecker over {module_name: source} fixtures.
+
+    Returns ``(new, suppressed)`` findings, classified exactly the way
+    ``run_lint`` classifies them — so suppression-comment behavior is
+    part of what these fixtures exercise.
+    """
+    mods = [
+        load_source(textwrap.dedent(src), module=name,
+                    path=name.replace(".", "/") + ".py")
+        for name, src in sources.items()
+    ]
+    info = ProjectInfo.build(mods)
+    by_path = {m.display_path: m for m in mods}
+    new, suppressed = [], []
+    for f in checker.check_project(info):
+        (suppressed if by_path[f.path].suppressed(f) else new).append(f)
+    return new, suppressed
 
 
 # -- RP001 collective-symmetry ----------------------------------------------
@@ -434,13 +460,14 @@ class TestApiHygiene:
 
 
 class TestRegistry:
-    def test_all_checkers_covers_rp001_to_rp004(self):
+    def test_all_checkers_covers_rp001_to_rp008(self):
         codes = [c.code for c in all_checkers()]
-        assert codes == ["RP001", "RP002", "RP003", "RP004"]
+        assert codes == ["RP001", "RP002", "RP003", "RP004",
+                         "RP005", "RP006", "RP007", "RP008"]
 
     def test_select_subsets_and_validates(self):
         assert [c.code for c in select_checkers("RP003,RP001")] == ["RP001", "RP003"]
-        assert len(select_checkers(None)) == 4
+        assert len(select_checkers(None)) == 8
         with pytest.raises(ValueError, match="RP999"):
             select_checkers("RP999")
 
@@ -505,3 +532,392 @@ class TestAutoscaleLintCoverage:
             """, module="repro.autoscale.fixture")
         assert len(findings) == 1
         assert findings[0].code == "RP003"
+
+
+# -- RP005 memo-key-completeness --------------------------------------------
+
+
+class TestMemoKeyCompleteness:
+    """The `spl` bug class: a per-instance memo keyed on a subset of
+    what the cached computation actually reads."""
+
+    BUGGY = """
+        class DenseStepCost:
+            def __init__(self, model):
+                self.model = model
+                self._memo = {}
+
+            def prompt_cost(self, request, kv_len):
+                spl = getattr(request, "shared_prefix_len", 0)
+                key = ("prompt", request.prompt_len, kv_len)
+                got = self._memo.get(key)
+                if got is None:
+                    got = self._memo[key] = (
+                        self.model.flops * request.prompt_len - spl)
+                return got
+        """
+
+    def test_fires_when_key_omits_a_read_input(self):
+        new, _ = lint_project(MemoKeyChecker(),
+                              {"repro.engine.fixture": self.BUGGY})
+        assert len(new) == 1
+        f = new[0]
+        assert f.code == "RP005"
+        assert "request.shared_prefix_len" in f.message
+        assert "self._memo" in f.message
+
+    def test_silent_when_key_covers_every_input(self):
+        new, _ = lint_project(MemoKeyChecker(), {"repro.engine.fixture": """
+            class DenseStepCost:
+                def __init__(self, model):
+                    self.model = model
+                    self._memo = {}
+
+                def prompt_cost(self, request, kv_len):
+                    spl = getattr(request, "shared_prefix_len", 0)
+                    key = ("prompt", request.prompt_len, spl, kv_len)
+                    got = self._memo.get(key)
+                    if got is None:
+                        got = self._memo[key] = (
+                            self.model.flops * request.prompt_len - spl)
+                    return got
+            """})
+        assert new == []
+
+    def test_whole_param_in_key_covers_its_attributes(self):
+        new, _ = lint_project(MemoKeyChecker(), {"repro.engine.fixture": """
+            class Cost:
+                def __init__(self):
+                    self._memo = {}
+
+                def price(self, request):
+                    got = self._memo.get(request)
+                    if got is None:
+                        got = self._memo[request] = (
+                            request.prompt_len + request.shared_prefix_len)
+                    return got
+            """})
+        assert new == []
+
+    def test_init_only_self_attr_is_exempt_but_mutated_is_not(self):
+        src = """
+            class Cost:
+                def __init__(self, model):
+                    self.model = model
+                    self.scale = 1.0
+                    self._memo = {}
+
+                def recalibrate(self, scale):
+                    self.scale = scale
+
+                def price(self, tokens):
+                    got = self._memo.get(tokens)
+                    if got is None:
+                        got = self._memo[tokens] = (
+                            self.model.flops * tokens * self.scale)
+                    return got
+            """
+        new, _ = lint_project(MemoKeyChecker(), {"repro.engine.fixture": src})
+        assert len(new) == 1
+        assert "self.scale" in new[0].message
+        assert "self.model" not in new[0].message  # init-only constant
+
+    def test_sibling_method_reads_count_one_level_deep(self):
+        new, _ = lint_project(MemoKeyChecker(), {"repro.engine.fixture": """
+            class Cost:
+                def __init__(self, model):
+                    self.model = model
+                    self.batch_bias = 0.0
+                    self._memo = {}
+
+                def rebias(self, b):
+                    self.batch_bias = b
+
+                def _raw(self, tokens):
+                    return self.model.flops * tokens + self.batch_bias
+
+                def price(self, tokens):
+                    got = self._memo.get(tokens)
+                    if got is None:
+                        got = self._memo[tokens] = self._raw(tokens)
+                    return got
+            """})
+        assert len(new) == 1
+        assert "self.batch_bias" in new[0].message
+
+    def test_suppression_comment_silences_the_store(self):
+        src = self.BUGGY.replace(
+            "got = self._memo[key] = (",
+            "got = self._memo[key] = (  # repro-lint: disable=RP005")
+        new, suppressed = lint_project(MemoKeyChecker(),
+                                       {"repro.engine.fixture": src})
+        assert new == []
+        assert len(suppressed) == 1
+
+
+# -- RP006 resource-pair-discipline -----------------------------------------
+
+
+class TestResourcePairDiscipline:
+    def test_fires_on_branch_that_drops_the_block(self):
+        new, _ = lint_project(ResourcePairChecker(), {"repro.model.fixture": """
+            class Cache:
+                def grow(self, want):
+                    blk = self.allocator.alloc()
+                    if want > 0:
+                        self.blocks.append(blk)
+                    return want
+            """})
+        assert len(new) == 1
+        f = new[0]
+        assert f.code == "RP006"
+        assert "`blk`" in f.message and "leak" in f.message
+        assert f.line == 4  # reported at the acquire site
+
+    def test_fires_on_double_release(self):
+        new, _ = lint_project(ResourcePairChecker(), {"repro.model.fixture": """
+            class Cache:
+                def retire(self, keep):
+                    blk = self.allocator.alloc()
+                    if not keep:
+                        blk.free()
+                    blk.free()
+            """})
+        assert len(new) == 1
+        assert "already be released" in new[0].message
+
+    def test_fires_on_discarded_alloc_result(self):
+        new, _ = lint_project(ResourcePairChecker(), {"repro.model.fixture": """
+            class Cache:
+                def touch(self):
+                    self.allocator.alloc()
+            """})
+        assert len(new) == 1
+        assert "discarded" in new[0].message
+
+    def test_silent_when_every_path_frees_or_escapes(self):
+        new, _ = lint_project(ResourcePairChecker(), {"repro.model.fixture": """
+            class Cache:
+                def grow(self, want):
+                    blk = self.allocator.alloc()
+                    if want > 0:
+                        self.blocks.append(blk)
+                    else:
+                        self.allocator.free(blk)
+                    return want
+
+                def fork(self, n):
+                    child = self.cache.fork(n)
+                    return child
+            """})
+        assert new == []
+
+    def test_bare_share_statement_is_the_legal_fork_idiom(self):
+        new, _ = lint_project(ResourcePairChecker(), {"repro.model.fixture": """
+            class Cache:
+                def fork_refs(self):
+                    for blk in self.blocks:
+                        self.allocator.share(blk)
+            """})
+        assert new == []
+
+    def test_helper_release_followed_one_call_deep(self):
+        buggy = """
+            def _drop(alloc, blk):
+                alloc.free(blk)
+
+            class Cache:
+                def retire(self, really):
+                    blk = self.allocator.alloc()
+                    if really:
+                        _drop(self.allocator, blk)
+            """
+        new, _ = lint_project(ResourcePairChecker(),
+                              {"repro.model.fixture": buggy})
+        assert len(new) == 1  # the else path still leaks...
+        # ...but an unconditional helper release is recognized as clean
+        new, _ = lint_project(ResourcePairChecker(), {"repro.model.fixture": """
+            def _drop(alloc, blk):
+                alloc.free(blk)
+
+            class Cache:
+                def retire(self):
+                    blk = self.allocator.alloc()
+                    _drop(self.allocator, blk)
+            """})
+        assert new == []
+
+    def test_suppression_comment_on_acquire_site(self):
+        new, suppressed = lint_project(ResourcePairChecker(),
+                                       {"repro.model.fixture": """
+            class Cache:
+                def grow(self, want):
+                    blk = self.allocator.alloc()  # repro-lint: disable=RP006
+                    if want > 0:
+                        self.blocks.append(blk)
+                    return want
+            """})
+        assert new == []
+        assert len(suppressed) == 1
+
+
+# -- RP007 unit-flow ---------------------------------------------------------
+
+
+class TestUnitFlow:
+    CALLEE = """
+        def step_time_s(compute_s, comm_s=0.0):
+            return compute_s + comm_s
+        """
+
+    def test_fires_on_bytes_argument_into_seconds_parameter(self):
+        new, _ = lint_project(UnitFlowChecker(), {
+            "repro.hardware.fixture": self.CALLEE,
+            "repro.engine.fixture": """
+                from repro.hardware.fixture import step_time_s
+
+                def drive(weight_bytes):
+                    return step_time_s(weight_bytes)
+                """,
+        })
+        assert len(new) == 1
+        f = new[0]
+        assert f.code == "RP007"
+        assert "compute_s" in f.message and "bytes" in f.message
+        assert f.path == "repro/engine/fixture.py"
+
+    def test_fires_on_keyword_argument_too(self):
+        new, _ = lint_project(UnitFlowChecker(), {
+            "repro.hardware.fixture": self.CALLEE,
+            "repro.engine.fixture": """
+                from repro.hardware.fixture import step_time_s
+
+                def drive(xfer_bytes):
+                    return step_time_s(0.0, comm_s=xfer_bytes)
+                """,
+        })
+        assert len(new) == 1
+        assert "comm_s" in new[0].message
+
+    def test_fires_on_return_unit_into_mismatched_target(self):
+        new, _ = lint_project(UnitFlowChecker(), {
+            "repro.hardware.fixture": self.CALLEE,
+            "repro.engine.fixture": """
+                from repro.hardware.fixture import step_time_s
+
+                def drive(c):
+                    total_bytes = step_time_s(c)
+                    return total_bytes
+                """,
+        })
+        assert len(new) == 1
+        assert "returns" in new[0].message
+
+    def test_silent_on_compatible_flow(self):
+        new, _ = lint_project(UnitFlowChecker(), {
+            "repro.hardware.fixture": self.CALLEE,
+            "repro.engine.fixture": """
+                from repro.hardware.fixture import step_time_s
+
+                def drive(compute_s, xfer_s):
+                    total_s = step_time_s(compute_s, comm_s=xfer_s)
+                    return total_s
+                """,
+        })
+        assert new == []
+
+    def test_unit_note_rebinds_a_name_on_the_caller_side(self):
+        new, _ = lint_project(UnitFlowChecker(), {
+            "repro.hardware.fixture": self.CALLEE,
+            "repro.engine.fixture": """
+                # repro-lint: unit(elapsed)=seconds
+
+                from repro.hardware.fixture import step_time_s
+
+                def drive(elapsed):
+                    return step_time_s(elapsed)
+                """,
+        })
+        assert new == []
+
+    def test_suppression_comment_at_the_call_site(self):
+        new, suppressed = lint_project(UnitFlowChecker(), {
+            "repro.hardware.fixture": self.CALLEE,
+            "repro.engine.fixture": """
+                from repro.hardware.fixture import step_time_s
+
+                def drive(weight_bytes):
+                    return step_time_s(weight_bytes)  # repro-lint: disable=RP007
+                """,
+        })
+        assert new == []
+        assert len(suppressed) == 1
+
+
+# -- RP008 backend-pair-drift ------------------------------------------------
+
+
+class TestPairDrift:
+    PAIR = SeamPair(
+        left="repro.engine.fast_fixture:simulate",
+        right="repro.engine.slow_fixture:simulate_reference",
+        allow_extra=frozenset({"detail"}),
+    )
+
+    def _run(self, left_src, right_src, pair=None):
+        return lint_project(
+            PairDriftChecker(pairs=(pair or self.PAIR,)),
+            {"repro.engine.fast_fixture": left_src,
+             "repro.engine.slow_fixture": right_src})
+
+    def test_fires_on_drifted_default(self):
+        new, _ = self._run(
+            "def simulate(trace, max_batch=8):\n    return trace\n",
+            "def simulate_reference(trace, max_batch=16):\n    return trace\n")
+        assert len(new) == 1
+        f = new[0]
+        assert f.code == "RP008"
+        assert "max_batch" in f.message and "`8` vs `16`" in f.message
+
+    def test_fires_on_kind_drift(self):
+        new, _ = self._run(
+            "def simulate(trace, *, policy='fcfs'):\n    return trace\n",
+            "def simulate_reference(trace, policy='fcfs'):\n    return trace\n")
+        assert len(new) == 1
+        assert "kwonly vs pos" in new[0].message
+
+    def test_fires_on_unshared_parameter_not_in_allow_extra(self):
+        new, _ = self._run(
+            "def simulate(trace, detail='auto', window=4):\n    return trace\n",
+            "def simulate_reference(trace):\n    return trace\n")
+        assert len(new) == 1
+        assert "window" in new[0].message and "detail" not in new[0].message
+
+    def test_fires_on_missing_endpoint(self):
+        new, _ = self._run(
+            "def simulate(trace):\n    return trace\n",
+            "def renamed(trace):\n    return trace\n")
+        assert len(new) == 1
+        assert "is gone" in new[0].message
+
+    def test_shared_only_ignores_surface_differences(self):
+        pair = SeamPair(left=self.PAIR.left, right=self.PAIR.right,
+                        shared_only=True)
+        new, _ = self._run(
+            "def simulate(trace, max_batch=8, extra=1):\n    return trace\n",
+            "def simulate_reference(trace, max_batch=8):\n    return trace\n",
+            pair=pair)
+        assert new == []
+
+    def test_silent_when_pair_modules_absent_from_run(self):
+        new, _ = lint_project(
+            PairDriftChecker(pairs=(self.PAIR,)),
+            {"repro.engine.unrelated": "def f():\n    return 0\n"})
+        assert new == []
+
+    def test_real_registry_is_clean_or_baselined_against_tree(self):
+        # the shipped PAIRED_SEAMS registry is validated end-to-end by
+        # tests/test_lint_cli.py::TestWalkerAndTree::test_merged_tree_is_clean
+        checker = PairDriftChecker()
+        assert {p.left.partition(":")[2] for p in checker.pairs} >= {
+            "simulate_serving", "simulate_fleet"}

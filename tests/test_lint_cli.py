@@ -230,3 +230,225 @@ class TestWalkerAndTree:
                           baseline=baseline, root=REPO_ROOT)
         assert result.ok, "\n".join(f.format() for f in result.findings)
         assert result.files_checked > 90
+
+
+class TestOccurrenceFingerprints:
+    """Two identical findings in one file must not collapse to a single
+    baseline fingerprint (the pre-occurrence-index collision)."""
+
+    TWIN = textwrap.dedent("""
+        import numpy as np
+
+        def jitter_a(n):
+            return np.random.rand(n)
+
+        def jitter_b(n):
+            return np.random.rand(n)
+    """)
+
+    @pytest.fixture
+    def twin_tree(self, tmp_path):
+        pkg = tmp_path / "repro" / "engine"
+        pkg.mkdir(parents=True)
+        (pkg / "fixture.py").write_text(self.TWIN)
+        return tmp_path
+
+    def test_identical_findings_get_distinct_fingerprints(self, twin_tree):
+        result = run_lint([twin_tree], all_checkers())
+        same = [f for f in result.findings if f.code == "RP003"]
+        assert len(same) == 2
+        assert same[0].message == same[1].message
+        fps = {f.fingerprint() for f in same}
+        assert len(fps) == 2
+        assert any(fp.endswith("|#2") for fp in fps)
+
+    def test_baseline_round_trip_covers_both_twins(self, twin_tree, tmp_path,
+                                                   capsys):
+        baseline = tmp_path / "baseline.json"
+        code, out, _ = run_cli(
+            [twin_tree, "--baseline", baseline, "--write-baseline"], capsys)
+        assert code == 0 and "wrote 2 finding(s)" in out
+        code, out, _ = run_cli([twin_tree, "--baseline", baseline], capsys)
+        assert code == 0
+        assert "2 baselined" in out
+
+    def test_third_twin_is_still_new(self, twin_tree, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        run_cli([twin_tree, "--baseline", baseline, "--write-baseline"],
+                capsys)
+        fixture = twin_tree / "repro" / "engine" / "fixture.py"
+        fixture.write_text(self.TWIN + textwrap.dedent("""
+            def jitter_c(n):
+                return np.random.rand(n)
+        """))
+        code, out, _ = run_cli([twin_tree, "--baseline", baseline], capsys)
+        assert code == 1  # the two old twins stay baselined, #3 is new
+
+    def test_legacy_baseline_without_occurrence_still_matches(self):
+        entries = [
+            {"code": "RP003", "path": "x.py", "message": "m",
+             "justification": "first"},
+            {"code": "RP003", "path": "x.py", "message": "m",
+             "justification": "second"},
+        ]
+        fps = Baseline(entries=entries).fingerprints()
+        assert fps == {"RP003|x.py|m", "RP003|x.py|m|#2"}
+
+
+class TestMultilineSuppression:
+    """A disable comment on the first *or* last physical line of a
+    multi-line statement silences findings anywhere inside it."""
+
+    def _tree(self, tmp_path, body):
+        pkg = tmp_path / "repro" / "engine"
+        pkg.mkdir(parents=True)
+        (pkg / "fixture.py").write_text(textwrap.dedent(body))
+        return tmp_path
+
+    def test_disable_on_closing_line_suppresses(self, tmp_path):
+        tree = self._tree(tmp_path, """
+            import numpy as np
+
+            def jitter(n):
+                return np.concatenate([
+                    np.random.rand(n),
+                    np.zeros(n),
+                ])  # repro-lint: disable=RP003
+        """)
+        result = run_lint([tree], all_checkers())
+        assert result.ok
+        assert len(result.suppressed) == 1
+
+    def test_disable_on_first_line_suppresses(self, tmp_path):
+        tree = self._tree(tmp_path, """
+            import numpy as np
+
+            def jitter(n):
+                return np.concatenate([  # repro-lint: disable=RP003
+                    np.random.rand(n),
+                    np.zeros(n),
+                ])
+        """)
+        result = run_lint([tree], all_checkers())
+        assert result.ok
+        assert len(result.suppressed) == 1
+
+    def test_compound_statement_trailer_does_not_swallow_body(self, tmp_path):
+        # A disable on a function's *last* body line must not silence
+        # unrelated findings earlier in the function.
+        tree = self._tree(tmp_path, """
+            import numpy as np
+
+            def jitter(n):
+                bad = np.random.rand(n)
+                return bad  # repro-lint: disable=RP003
+        """)
+        result = run_lint([tree], all_checkers())
+        assert not result.ok
+
+    def test_wrong_code_on_multiline_statement_does_not_silence(self, tmp_path):
+        tree = self._tree(tmp_path, """
+            import numpy as np
+
+            def jitter(n):
+                return np.concatenate([
+                    np.random.rand(n),
+                ])  # repro-lint: disable=RP001
+        """)
+        result = run_lint([tree], all_checkers())
+        assert not result.ok
+
+
+class TestProjectPass:
+    """run_lint's whole-program pass: cross-module findings appear, and
+    --no-project switches them off."""
+
+    CALLEE = textwrap.dedent("""
+        def step_time_s(compute_s, comm_s=0.0):
+            return compute_s + comm_s
+    """)
+    CALLER = textwrap.dedent("""
+        from repro.hardware.latency import step_time_s
+
+        def drive(weight_bytes):
+            return step_time_s(weight_bytes)
+    """)
+
+    @pytest.fixture
+    def cross_tree(self, tmp_path):
+        hw = tmp_path / "repro" / "hardware"
+        en = tmp_path / "repro" / "engine"
+        hw.mkdir(parents=True)
+        en.mkdir(parents=True)
+        (hw / "latency.py").write_text(self.CALLEE)
+        (en / "run.py").write_text(self.CALLER)
+        return tmp_path
+
+    def test_interprocedural_finding_emerges_from_two_files(self, cross_tree):
+        result = run_lint([cross_tree], all_checkers())
+        codes = [f.code for f in result.findings]
+        assert "RP007" in codes
+        (f,) = [f for f in result.findings if f.code == "RP007"]
+        assert f.path.endswith("run.py")
+
+    def test_no_project_flag_skips_the_pass(self, cross_tree, capsys):
+        code, out, _ = run_cli(
+            [cross_tree, "--no-baseline", "--no-project"], capsys)
+        assert code == 0
+        code, out, _ = run_cli([cross_tree, "--no-baseline"], capsys)
+        assert code == 1
+        assert "RP007" in out
+
+    def test_project_kwarg_off_in_api(self, cross_tree):
+        result = run_lint([cross_tree], all_checkers(), project=False)
+        assert result.ok
+
+
+class TestSarifOutput:
+    def test_sarif_log_shape(self, dirty_tree, tmp_path, capsys):
+        report = tmp_path / "lint.sarif"
+        code, out, _ = run_cli(
+            [dirty_tree, "--no-baseline", "--format", "sarif",
+             "--output", report], capsys)
+        assert code == 1
+        log = json.loads(report.read_text())
+        assert log["version"] == "2.1.0"
+        (run,) = log["runs"]
+        driver = run["tool"]["driver"]
+        assert driver["name"] == "repro-lint"
+        rule_ids = [r["id"] for r in driver["rules"]]
+        assert rule_ids == [c.code for c in all_checkers()]
+        (res,) = run["results"]
+        assert res["ruleId"] == "RP003"
+        assert res["baselineState"] == "new"
+        loc = res["locations"][0]["physicalLocation"]
+        assert loc["artifactLocation"]["uri"].endswith("fixture.py")
+        assert loc["region"]["startLine"] > 0
+        assert res["partialFingerprints"]["reproLint/v1"]
+
+    def test_baselined_findings_marked_unchanged(self, dirty_tree, tmp_path,
+                                                 capsys):
+        baseline = tmp_path / "baseline.json"
+        run_cli([dirty_tree, "--baseline", baseline, "--write-baseline"],
+                capsys)
+        report = tmp_path / "lint.sarif"
+        code, _, _ = run_cli(
+            [dirty_tree, "--baseline", baseline, "--format", "sarif",
+             "--output", report], capsys)
+        assert code == 0
+        (run,) = json.loads(report.read_text())["runs"]
+        states = [r["baselineState"] for r in run["results"]]
+        assert states == ["unchanged"]
+
+
+class TestWallClock:
+    def test_full_tree_lint_fits_the_ci_budget(self):
+        """The whole-program pass must not turn the lint gate into the
+        slow job: full tree, all eight rules, well under CI patience."""
+        import time
+        t0 = time.monotonic()
+        result = run_lint([REPO_ROOT / "src" / "repro"], all_checkers(),
+                          root=REPO_ROOT)
+        elapsed = time.monotonic() - t0
+        assert result.files_checked > 90
+        assert elapsed < 30.0, f"full-tree lint took {elapsed:.1f}s"
